@@ -1,0 +1,232 @@
+"""Extension benchmarks beyond the paper's figures.
+
+* ``ext-policy`` — the four systems side by side on the §1 medium-thread
+  inversion scenario (the paper compares against these protocols only in
+  prose, §5).
+* ``ext-dead``  — deadlock-breaking revocation throughput on the bank
+  workload (§1's deadlock discussion).
+* ``abl-queues``    — ablation: prioritized monitor queues on/off (§4).
+* ``abl-detection`` — ablation: at-acquire vs periodic detection (§1).
+"""
+
+import pytest
+
+from repro import DeadlockError, VMOptions
+from repro.bench.harness import run_microbench
+from repro.bench.microbench import MicrobenchConfig
+from repro.bench.workloads import build_bank, build_medium_inversion
+from repro.util.fmt import format_table
+from repro.vm.vmcore import JVM
+
+
+class TestPolicyComparison:
+    def test_four_systems_on_medium_inversion(self, benchmark):
+        def measure():
+            rows = []
+            for mode, scheduler in (
+                ("unmodified", "round-robin"),
+                ("rollback", "round-robin"),
+                ("unmodified", "priority"),
+                ("rollback", "priority"),
+                ("inheritance", "priority"),
+                ("ceiling", "priority"),
+            ):
+                workload = build_medium_inversion(medium_threads=4)
+                vm = JVM(VMOptions(mode=mode, scheduler=scheduler))
+                workload.install(vm)
+                vm.run()
+                rows.append((
+                    f"{mode}/{scheduler}",
+                    vm.thread_named("high").elapsed(),
+                    vm.thread_named("low").elapsed(),
+                    vm.clock.now,
+                ))
+            return rows
+
+        rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+        print("\n[ext-policy] §1 medium-thread inversion scenario")
+        print(format_table(
+            ["system", "high elapsed", "low elapsed", "total"], rows,
+            float_fmt="{:.0f}",
+        ))
+        results = dict((r[0], r[1]) for r in rows)
+        # the paper's point: rollback rescues the high-priority thread
+        # relative to the blocking VM under the SAME scheduler
+        assert results["rollback/priority"] < results["unmodified/priority"]
+        assert (results["rollback/round-robin"]
+                < results["unmodified/round-robin"])
+
+    def test_rollback_vs_blocking_on_paper_benchmark(self, benchmark):
+        """One representative micro-benchmark configuration across all
+        four systems (round-robin, as in the paper)."""
+        config = MicrobenchConfig(
+            high_threads=2, low_threads=6, iters_high=120, iters_low=600,
+            sections=8, write_pct=40, seed=101,
+        )
+
+        def measure():
+            out = {}
+            for mode in ("unmodified", "rollback", "inheritance",
+                         "ceiling"):
+                out[mode] = run_microbench(
+                    config, mode,
+                    options=VMOptions(mode=mode, scheduler="round-robin"),
+                )
+            return out
+
+        results = benchmark.pedantic(measure, rounds=1, iterations=1)
+        rows = [
+            [mode, r.high_elapsed, r.overall_elapsed, r.rollbacks]
+            for mode, r in results.items()
+        ]
+        print("\n[ext-policy] paper micro-benchmark, one configuration")
+        print(format_table(
+            ["system", "high elapsed", "overall", "rollbacks"], rows,
+            float_fmt="{:.0f}",
+        ))
+        assert (results["rollback"].high_elapsed
+                < results["unmodified"].high_elapsed)
+
+
+class TestDeadlockResolution:
+    def test_bank_deadlock_breaking(self, benchmark):
+        def measure():
+            resolved = completed = deadlocked_baseline = 0
+            for seed in range(8):
+                workload = build_bank(accounts=4, transfers=40)
+                vm = JVM(VMOptions(mode="rollback", seed=seed))
+                workload.install(vm)
+                vm.run()
+                assert sum(
+                    vm.get_static("Bank", "balances").snapshot()
+                ) == 400
+                resolved += vm.metrics()["support"]["deadlocks_resolved"]
+                completed += 1
+                baseline_workload = build_bank(accounts=4, transfers=40)
+                baseline = JVM(VMOptions(mode="unmodified", seed=seed))
+                baseline_workload.install(baseline)
+                try:
+                    baseline.run()
+                except DeadlockError:
+                    deadlocked_baseline += 1
+            return resolved, completed, deadlocked_baseline
+
+        resolved, completed, deadlocked = benchmark.pedantic(
+            measure, rounds=1, iterations=1
+        )
+        print(
+            f"\n[ext-dead] bank workload, 8 seeds: rollback VM completed "
+            f"{completed}/8 (resolving {resolved} deadlocks); baseline VM "
+            f"deadlocked on {deadlocked}/8 seeds"
+        )
+        assert completed == 8
+        assert deadlocked >= 1
+
+
+class TestAblations:
+    CONFIG = MicrobenchConfig(
+        high_threads=2, low_threads=6, iters_high=120, iters_low=600,
+        sections=8, write_pct=40, seed=57,
+    )
+
+    def test_prioritized_queues_ablation(self, benchmark):
+        """§4: the prioritized monitor queues exist so measurements do not
+        depend on random arrival order; without them high-priority threads
+        queue FIFO behind low ones."""
+        def measure():
+            out = {}
+            for prioritized in (True, False):
+                out[prioritized] = run_microbench(
+                    self.CONFIG, "rollback",
+                    options=VMOptions(
+                        mode="rollback", prioritized_queues=prioritized
+                    ),
+                )
+            return out
+
+        results = benchmark.pedantic(measure, rounds=1, iterations=1)
+        on = results[True].high_elapsed
+        off = results[False].high_elapsed
+        print(
+            f"\n[abl-queues] high-priority elapsed with prioritized "
+            f"queues: {on}; plain FIFO queues: {off} "
+            f"({off / on:.2f}x slower without)"
+        )
+        assert on <= off * 1.1  # prioritized never meaningfully worse
+
+    def test_detection_mode_ablation(self, benchmark):
+        def measure():
+            out = {}
+            for detection, interval in (
+                ("acquire", 0),
+                ("periodic", 2_000),
+                ("periodic", 20_000),
+                ("both", 2_000),
+            ):
+                opts = VMOptions(mode="rollback", detection=detection)
+                if interval:
+                    opts = opts.with_(periodic_interval=interval)
+                out[(detection, interval)] = run_microbench(
+                    self.CONFIG, "rollback", options=opts
+                )
+            return out
+
+        results = benchmark.pedantic(measure, rounds=1, iterations=1)
+        rows = [
+            [f"{d}{'@' + str(i) if i else ''}",
+             r.high_elapsed, r.rollbacks]
+            for (d, i), r in results.items()
+        ]
+        print("\n[abl-detection] detection mode sweep")
+        print(format_table(
+            ["detection", "high elapsed", "rollbacks"], rows,
+            float_fmt="{:.0f}",
+        ))
+        # at-acquire must react at least as fast as coarse periodic
+        acquire = results[("acquire", 0)].high_elapsed
+        coarse = results[("periodic", 20_000)].high_elapsed
+        assert acquire <= coarse * 1.2
+
+
+class TestHandoffAblation:
+    def test_direct_handoff_strengthens_baseline(self, benchmark):
+        """abl-handoff: with direct ownership transfer (no barging), the
+        blocking baseline suffers far less from priority inversion, which
+        shrinks the paper's reported gains — evidence that the platform's
+        release/wakeup behaviour is part of the story the figures tell."""
+        config = MicrobenchConfig(
+            high_threads=2, low_threads=8, iters_high=120, iters_low=600,
+            sections=12, write_pct=40, seed=303,
+        )
+
+        def measure():
+            out = {}
+            for handoff in (False, True):
+                for mode in ("unmodified", "rollback"):
+                    out[(handoff, mode)] = run_microbench(
+                        config, mode,
+                        options=VMOptions(
+                            mode=mode, direct_handoff=handoff
+                        ),
+                    )
+            return out
+
+        results = benchmark.pedantic(measure, rounds=1, iterations=1)
+        rows = []
+        gains = {}
+        for handoff in (False, True):
+            unmod = results[(handoff, "unmodified")].high_elapsed
+            mod = results[(handoff, "rollback")].high_elapsed
+            gains[handoff] = unmod / mod
+            rows.append([
+                "direct handoff" if handoff else "wake + barge (paper)",
+                unmod, mod, unmod / mod,
+            ])
+        print("\n[abl-handoff] release/wakeup policy vs rollback gains")
+        print(format_table(
+            ["queue policy", "blocking high", "rollback high", "speedup"],
+            rows, float_fmt="{:.2f}",
+        ))
+        # barging hurts the baseline more than the rollback VM, so the
+        # paper-faithful policy shows the larger gain
+        assert gains[False] >= gains[True] * 0.9

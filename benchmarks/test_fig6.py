@@ -1,0 +1,21 @@
+"""Figure 6: high-priority elapsed time, 500K-scale high-priority inner loops.
+
+Regenerates the paper's Figure 6 panels (a) 2 high + 8 low, (b) 5 + 5,
+(c) 8 + 2 — the MODIFIED (rollback) vs UNMODIFIED series over write ratios
+0..100%, normalized to the unmodified VM at 100% reads.  The rendered table
+and chart print with the benchmark output; EXPERIMENTS.md records the
+paper-vs-measured comparison.
+"""
+
+import pytest
+
+from bench_common import check_shape, get_panel, report
+
+
+@pytest.mark.parametrize("panel", ["a", "b", "c"])
+def test_fig6(benchmark, panel):
+    result = benchmark.pedantic(
+        get_panel, args=(6, panel), rounds=1, iterations=1,
+    )
+    check_shape(result)
+    report(result)

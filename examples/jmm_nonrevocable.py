@@ -1,0 +1,133 @@
+#!/usr/bin/env python3
+"""The paper's JMM-consistency scenarios (Figures 2 and 3, §2.1–2.2).
+
+Figure 2 — nesting: thread T, inside monitors ``outer`` then ``inner``,
+writes ``v`` and releases ``inner``.  Thread T' then acquires ``inner``
+and reads ``v`` — legally observing T's speculative write.  Rolling back
+``outer`` now would make that value appear "out of thin air", so the
+runtime marks T's sections non-revocable; a high-priority thread arriving
+at ``outer`` is denied revocation and must block (classic behaviour).
+
+Figure 3 — volatile: the same effect without any monitor on the reader's
+side, through a volatile variable.
+
+Run:  python examples/jmm_nonrevocable.py
+"""
+
+from repro import JVM, VMOptions, Asm, ClassDef, FieldDef
+
+
+def build_figure2() -> ClassDef:
+    cls = ClassDef(
+        "Fig2",
+        fields=[
+            FieldDef("outer", "ref", is_static=True),
+            FieldDef("inner", "ref", is_static=True),
+            FieldDef("v", "int", is_static=True),
+            FieldDef("seen", "int", is_static=True),
+        ],
+    )
+
+    # T: synchronized(outer) { synchronized(inner) { v = 1; } spin; }
+    t = Asm("writer", argc=0)
+    t.getstatic("Fig2", "outer")
+    with t.sync():
+        t.getstatic("Fig2", "inner")
+        with t.sync():
+            t.const(1).putstatic("Fig2", "v")
+        i = t.local()
+        t.for_range(i, lambda: t.const(3_000), lambda: t.const(0).pop())
+    t.ret()
+    cls.add_method(t.build())
+
+    # T': synchronized(inner) { seen = v; }
+    t2 = Asm("reader", argc=0)
+    t2.pause(500)
+    t2.getstatic("Fig2", "inner")
+    with t2.sync():
+        t2.getstatic("Fig2", "v").putstatic("Fig2", "seen")
+    t2.ret()
+    cls.add_method(t2.build())
+
+    # Th: synchronized(outer) {} — arrives while T holds outer
+    th = Asm("contender", argc=0)
+    th.pause(1_500)
+    th.getstatic("Fig2", "outer")
+    with th.sync():
+        th.const(0).pop()
+    th.ret()
+    cls.add_method(th.build())
+    return cls
+
+
+def build_figure3() -> ClassDef:
+    cls = ClassDef(
+        "Fig3",
+        fields=[
+            FieldDef("m", "ref", is_static=True),
+            FieldDef("vol", "int", volatile=True, is_static=True),
+            FieldDef("seen", "int", is_static=True),
+        ],
+    )
+
+    # T: synchronized(M) { vol = 1; spin; }
+    t = Asm("writer", argc=0)
+    t.getstatic("Fig3", "m")
+    with t.sync():
+        t.const(1).putstatic("Fig3", "vol")
+        i = t.local()
+        t.for_range(i, lambda: t.const(3_000), lambda: t.const(0).pop())
+    t.ret()
+    cls.add_method(t.build())
+
+    # T': seen = vol;  (no monitor at all — the volatile rule alone)
+    t2 = Asm("reader", argc=0)
+    t2.pause(500)
+    t2.getstatic("Fig3", "vol").putstatic("Fig3", "seen")
+    t2.ret()
+    cls.add_method(t2.build())
+
+    th = Asm("contender", argc=0)
+    th.pause(1_500)
+    th.getstatic("Fig3", "m")
+    with th.sync():
+        th.const(0).pop()
+    th.ret()
+    cls.add_method(th.build())
+    return cls
+
+
+def run_scenario(name: str, cls, lock_fields) -> None:
+    vm = JVM(VMOptions(mode="rollback", trace=True))
+    vm.load(cls)
+    for field_name in lock_fields:
+        vm.set_static(cls.name, field_name, vm.new_object(cls.name))
+    vm.spawn(cls.name, "writer", priority=1, name="T")
+    vm.spawn(cls.name, "reader", priority=5, name="T'")
+    vm.spawn(cls.name, "contender", priority=10, name="Th")
+    vm.run()
+
+    print(f"=== {name} ===")
+    print(f"reader observed v = {vm.get_static(cls.name, 'seen')}")
+    marks = vm.tracer.of_kind("nonrevocable")
+    denials = vm.tracer.of_kind("revocation_denied")
+    completed = vm.metrics()["support"]["revocations_completed"]
+    for e in marks:
+        print(f"  {e}")
+    for e in denials:
+        print(f"  {e}")
+    print(f"revocations completed: {completed} (must be 0 — the observed "
+          "write pinned the section)")
+    assert completed == 0
+    print()
+
+
+def main() -> None:
+    run_scenario("Figure 2: nested-monitor exposure",
+                 build_figure2(), ("outer", "inner"))
+    run_scenario("Figure 3: volatile exposure",
+                 build_figure3(), ("m",))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""Legacy shim so `pip install -e .` works offline without the `wheel`
+package (PEP 660 editable installs need bdist_wheel; `--no-use-pep517`
+falls back to this)."""
+from setuptools import setup
+
+setup()

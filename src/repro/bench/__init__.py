@@ -1,0 +1,54 @@
+"""The evaluation harness (paper §4).
+
+* :mod:`repro.bench.microbench` — the paper's micro-benchmark program
+  generator (threads contending on one lock, interleaved reads/writes).
+* :mod:`repro.bench.harness` — runs one configuration on a VM mode and
+  extracts the paper's two metrics (high-priority elapsed, overall
+  elapsed); repeats across seeds with 90% confidence intervals.
+* :mod:`repro.bench.figures` — sweep definitions regenerating every panel
+  of Figures 5–8 plus the extension/ablation experiments.
+* :mod:`repro.bench.report` — text rendering of series and panels.
+* :mod:`repro.bench.workloads` — additional guest programs (deadlock
+  pairs, bank transfers, bounded buffers, medium-thread inversion).
+"""
+
+from repro.bench.microbench import (
+    HIGH_PRIORITY,
+    LOW_PRIORITY,
+    MicrobenchConfig,
+    build_microbench_class,
+    setup_microbench_vm,
+)
+from repro.bench.harness import (
+    ComparisonResult,
+    RunResult,
+    compare_modes,
+    run_microbench,
+)
+from repro.bench.figures import (
+    FigurePanel,
+    PanelResult,
+    all_panels,
+    run_panel,
+    sweep_write_ratios,
+)
+from repro.bench.report import render_panel, render_series
+
+__all__ = [
+    "HIGH_PRIORITY",
+    "LOW_PRIORITY",
+    "MicrobenchConfig",
+    "build_microbench_class",
+    "setup_microbench_vm",
+    "ComparisonResult",
+    "RunResult",
+    "compare_modes",
+    "run_microbench",
+    "FigurePanel",
+    "PanelResult",
+    "all_panels",
+    "run_panel",
+    "sweep_write_ratios",
+    "render_panel",
+    "render_series",
+]

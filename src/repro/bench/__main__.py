@@ -1,0 +1,64 @@
+"""Command-line figure regeneration: ``python -m repro.bench``.
+
+Examples::
+
+    python -m repro.bench 5a                 # Figure 5, panel (a)
+    python -m repro.bench 6b --reps 5        # more repetitions
+    python -m repro.bench 7c --csv out.csv   # export the series
+    python -m repro.bench all                # every panel (slow)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.bench.figures import FigurePanel, all_panels, run_panel
+from repro.bench.report import panel_json, render_panel, write_csv
+
+
+def _parse_panel(text: str) -> FigurePanel:
+    text = text.strip().lower()
+    if len(text) != 2 or text[0] not in "5678" or text[1] not in "abc":
+        raise argparse.ArgumentTypeError(
+            f"expected a figure panel like '5a' or '8c', got {text!r}"
+        )
+    return FigurePanel(int(text[0]), text[1])
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Regenerate the paper's figure panels.",
+    )
+    parser.add_argument(
+        "panel",
+        help="figure panel (e.g. 5a, 6b, 8c) or 'all'",
+    )
+    parser.add_argument("--reps", type=int, default=2,
+                        help="paired-seed repetitions (default 2)")
+    parser.add_argument("--seed", type=int, default=0x5EED)
+    parser.add_argument("--csv", metavar="PATH",
+                        help="also write the series to a CSV file")
+    parser.add_argument("--json", action="store_true",
+                        help="print JSON instead of the table/chart")
+    args = parser.parse_args(argv)
+
+    panels = (
+        all_panels() if args.panel == "all"
+        else [_parse_panel(args.panel)]
+    )
+    for panel in panels:
+        result = run_panel(panel, repetitions=args.reps, seed=args.seed)
+        if args.json:
+            print(panel_json(result))
+        else:
+            print(render_panel(result))
+        if args.csv:
+            write_csv(result, args.csv)
+            print(f"series written to {args.csv}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

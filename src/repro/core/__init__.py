@@ -1,0 +1,46 @@
+"""The paper's contribution: revocable synchronized sections.
+
+Layered on the :mod:`repro.vm` substrate:
+
+* :mod:`repro.core.transform` — the load-time bytecode rewriter (paper
+  §3.1.1): synchronized-method wrapping, rollback-scope injection with
+  operand-stack save/restore, and write-barrier insertion with a static
+  elision analysis.
+* :mod:`repro.core.undolog` — per-thread sequential undo buffers (§3.1.2).
+* :mod:`repro.core.sections` — active synchronized-section records.
+* :mod:`repro.core.jmm` — Java-memory-model consistency: read-write
+  dependency tracking and non-revocability marking (§2.1–2.2).
+* :mod:`repro.core.detection` — priority-inversion detection (§4).
+* :mod:`repro.core.deadlock` — wait-for-cycle victim selection (§1).
+* :mod:`repro.core.revocation` — the modified VM's runtime support tying
+  it all together.
+* :mod:`repro.core.policies` — priority inheritance / ceiling baselines
+  (§5) and the support factory.
+"""
+
+from repro.core.metrics import SupportMetrics
+from repro.core.undolog import UndoLog
+from repro.core.sections import Section
+from repro.core.jmm import JmmTracker
+from repro.core.revocation import RollbackSupport
+from repro.core.policies import (
+    CeilingSupport,
+    InheritanceSupport,
+    make_support,
+    set_ceiling,
+)
+from repro.core.transform import elide_barriers, transform_class
+
+__all__ = [
+    "SupportMetrics",
+    "UndoLog",
+    "Section",
+    "JmmTracker",
+    "RollbackSupport",
+    "CeilingSupport",
+    "InheritanceSupport",
+    "make_support",
+    "set_ceiling",
+    "elide_barriers",
+    "transform_class",
+]

@@ -1,0 +1,77 @@
+"""Deadlock resolution by revocation (paper §1).
+
+    "Using our techniques, such deadlocks can be detected and resolved
+    automatically, permitting the application to make progress. ...
+    for mission-critical applications in which running programs cannot be
+    summarily terminated, our approach provides an opportunity for
+    corrective action to be undertaken gracefully."
+
+The scheduler detects wait-for cycles (it must anyway, to distinguish
+deadlock from quiescence); this module chooses the *victim*: the cycle
+member whose revocable section, when rolled back, releases a monitor some
+other cycle member is waiting for.  Victim preference is lowest effective
+priority (stealing cycles from the least urgent thread, consistent with the
+paper's bias toward high-priority throughput), tie-broken by thread id for
+determinism.
+
+    "without taking additional precautions a sequence of deadlock
+    revocations may result in livelock"
+
+— the livelock guard lives in :mod:`repro.core.revocation`: each completed
+revocation of the same thread doubles a grace window during which inversion
+revocations spare it; for deadlocks (where *someone* must yield), victim
+selection instead rotates via the revocation counter so repeated cycles
+pick different victims.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.core.sections import Section
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.revocation import RollbackSupport
+    from repro.vm.threads import VMThread
+
+
+def select_victim(
+    support: "RollbackSupport", cycle: list["VMThread"]
+) -> Optional[tuple["VMThread", Section]]:
+    """Pick ``(victim, target_section)`` breaking the cycle, or None.
+
+    ``cycle`` is in wait-for order: ``cycle[i]`` blocks on a monitor owned
+    by ``cycle[(i+1) % len(cycle)]``.  For each candidate holder we target
+    its outermost active section for the monitor its predecessor waits on.
+    """
+    n = len(cycle)
+    candidates: list[tuple[int, int, int, "VMThread", Section]] = []
+    for i in range(n):
+        holder = cycle[(i + 1) % n]
+        waiter = cycle[i]
+        monitor = waiter.blocked_on
+        if monitor is None or monitor.owner is not holder:
+            continue  # the graph changed under us; skip this edge
+        target = monitor.first_section
+        if target is None or target.thread is not holder:
+            target = holder.section_for_monitor(monitor)
+        if target is None:
+            continue
+        if not support.can_revoke(holder, target):
+            continue
+        candidates.append(
+            (
+                holder.effective_priority,
+                holder.consecutive_revocations,
+                holder.tid,
+                holder,
+                target,
+            )
+        )
+    if not candidates:
+        return None
+    # lowest priority first; among equals prefer the least-recently-revoked
+    # victim (anti-livelock rotation), then lowest tid for determinism.
+    candidates.sort(key=lambda c: (c[0], c[1], c[2]))
+    _, _, _, victim, target = candidates[0]
+    return victim, target

@@ -1,0 +1,136 @@
+"""Priority-inversion detection (paper §4).
+
+    "A thread acquiring a monitor deposits its priority in the header of
+    the monitor object.  Before another thread can attempt acquisition of
+    the same monitor, it checks whether its own priority is higher than the
+    priority of the thread currently executing within the synchronized
+    section.  If it is, the scheduler initiates a context-switch and
+    triggers rollback of the low priority thread at the next yield point."
+
+Detection runs at lock acquisition (``on_contended``) and/or periodically
+over all blocked threads (``scan_blocked``) — the paper §1 allows both.
+A detected inversion posts a *revocation request* on the holder, naming the
+holder's outermost active section for the contested monitor; the request is
+honoured at the holder's next yield point (or immediately when the holder
+is itself blocked or sleeping, in which case it is woken to roll back).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.core.sections import Section
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.revocation import RollbackSupport
+    from repro.vm.monitors import Monitor
+    from repro.vm.threads import VMThread
+
+
+class InversionDetector:
+    """Posts revocation requests when priority inversion is observed."""
+
+    def __init__(self, support: "RollbackSupport") -> None:
+        self.support = support
+
+    # ------------------------------------------------------------ interface
+    def on_contended(self, thread: "VMThread", monitor: "Monitor") -> None:
+        """``thread`` is about to block on ``monitor``; check for inversion."""
+        if self.support.vm.options.detection == "periodic":
+            return
+        self._check(thread, monitor)
+
+    def scan_blocked(self) -> None:
+        """Background pass: re-examine every blocked thread (§1)."""
+        from repro.vm.threads import ThreadState
+
+        for thread in self.support.vm.threads:
+            if (
+                thread.state is ThreadState.BLOCKED
+                and thread.blocked_on is not None
+            ):
+                self._check(thread, thread.blocked_on)
+
+    # ------------------------------------------------------------- mechanics
+    def _check(self, thread: "VMThread", monitor: "Monitor") -> None:
+        support = self.support
+        holder = monitor.owner
+        if holder is None or holder is thread:
+            return
+        if thread.effective_priority <= holder.effective_priority:
+            return
+        support.metrics.inversions_detected += 1
+        target = self._target_section(holder, monitor)
+        if target is None:
+            return
+        if not support.can_revoke(holder, target):
+            support.metrics.revocations_denied_nonrevocable += 1
+            support.vm.trace(
+                "revocation_denied",
+                thread,
+                holder=holder,
+                reason=target.nonrevocable_reason or "inner-nonrevocable",
+            )
+            return
+        limit = support.vm.options.max_rollback_entries
+        if limit and support.pending_undo_entries(holder, target) > limit:
+            support.metrics.revocations_denied_cost += 1
+            support.vm.trace(
+                "revocation_denied", thread, holder=holder, reason="cost"
+            )
+            return
+        now = support.vm.clock.now
+        if now < holder.grace_until:
+            support.metrics.revocations_denied_grace += 1
+            support.vm.trace(
+                "revocation_denied", thread, holder=holder, reason="grace"
+            )
+            return
+        self._post_request(holder, target, requester=thread)
+
+    @staticmethod
+    def _target_section(
+        holder: "VMThread", monitor: "Monitor"
+    ) -> Optional[Section]:
+        """The holder's outermost active section for ``monitor``.
+
+        Recursive re-entries cannot be targets: releasing one recursion
+        level would not free the monitor.
+        """
+        target = monitor.first_section
+        if target is not None and target.thread is holder:
+            return target
+        # Fallback (first_section is cleared on release): walk the stack.
+        return holder.section_for_monitor(monitor)
+
+    def _post_request(
+        self,
+        holder: "VMThread",
+        target: Section,
+        requester: "VMThread",
+    ) -> None:
+        support = self.support
+        current = holder.revocation_request
+        if current is not None:
+            # Keep the outermost pending target: rolling back an outer
+            # section subsumes any inner one.
+            if current is target:
+                return
+            try:
+                if holder.sections.index(current) <= holder.sections.index(
+                    target
+                ):
+                    return
+            except ValueError:
+                pass  # stale request; replace it
+        holder.revocation_request = target
+        support.metrics.revocation_requests += 1
+        support.vm.trace(
+            "revocation_request",
+            requester,
+            holder=holder,
+            section=repr(target),
+        )
+        # A blocked or sleeping holder never reaches a yield point on its
+        # own; wake it so the rollback can proceed.
+        support.vm.scheduler.wake_for_revocation(holder)

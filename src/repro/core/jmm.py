@@ -1,0 +1,108 @@
+"""Java-memory-model consistency tracking (paper §2.1–2.2).
+
+The JMM's happens-before visibility rule means a thread T' may legally
+observe a value written by thread T *inside a still-active synchronized
+section* (Figure 2: through a nested monitor that already exited; Figure 3:
+through a volatile variable).  Revoking that section afterwards would make
+the observed value appear "out of thin air".  The paper's resolution:
+
+    "disable the revocability of monitors whose rollback could create
+    inconsistencies with respect to the JMM ... We mark a monitor M
+    non-revocable when a read-write dependency is created between a write
+    performed within M and a read performed by another thread."
+
+with the footnote that the write "may additionally be guarded by other
+monitors nested within M" — i.e. every section enclosing the write loses
+revocability, because rolling back any of them undoes the observed write.
+
+:class:`JmmTracker` implements exactly that: every *logged* (speculative)
+write pushes the tuple of sections active at the write onto a per-location,
+per-thread stack; a read by a different thread returns the sections of the
+latest speculative write so the runtime can mark them; undo pops, commit
+clears.  Volatile variables need no special path — they are locations like
+any other, and the read barrier fires on volatile reads too, reproducing
+the Figure 3 rule as a special case of the general one.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.sections import Section
+    from repro.vm.threads import VMThread
+
+
+class JmmTracker:
+    """Tracks which heap locations hold speculative (uncommitted) values."""
+
+    __slots__ = ("_map",)
+
+    def __init__(self) -> None:
+        #: location -> tid -> stack of section tuples (one per logged write)
+        self._map: dict[tuple, dict[int, list[tuple["Section", ...]]]] = {}
+
+    def __len__(self) -> int:
+        return len(self._map)
+
+    def on_write(
+        self,
+        thread: "VMThread",
+        loc: tuple,
+        active_sections: tuple["Section", ...],
+    ) -> None:
+        """A speculative write by ``thread`` to ``loc`` was logged."""
+        per_tid = self._map.get(loc)
+        if per_tid is None:
+            per_tid = {}
+            self._map[loc] = per_tid
+        per_tid.setdefault(thread.tid, []).append(active_sections)
+
+    def on_undo(self, thread: "VMThread", loc: tuple) -> None:
+        """The latest speculative write by ``thread`` to ``loc`` was undone."""
+        per_tid = self._map.get(loc)
+        if per_tid is None:
+            return
+        stack = per_tid.get(thread.tid)
+        if not stack:
+            return
+        stack.pop()
+        if not stack:
+            del per_tid[thread.tid]
+            if not per_tid:
+                del self._map[loc]
+
+    def on_commit(self, thread: "VMThread", locs: Iterable[tuple]) -> None:
+        """``thread`` exited its outermost section; its writes are final."""
+        tid = thread.tid
+        for loc in locs:
+            per_tid = self._map.get(loc)
+            if per_tid is None:
+                continue
+            per_tid.pop(tid, None)
+            if not per_tid:
+                del self._map[loc]
+
+    def on_read(
+        self, thread: "VMThread", loc: tuple
+    ) -> tuple["Section", ...]:
+        """``thread`` read ``loc``.  Returns the sections that must become
+        non-revocable: the enclosing sections of the latest speculative
+        write by any *other* thread (empty tuple when none)."""
+        per_tid = self._map.get(loc)
+        if per_tid is None:
+            return ()
+        tid = thread.tid
+        result: tuple["Section", ...] = ()
+        for writer_tid, stack in per_tid.items():
+            if writer_tid != tid and stack:
+                result += stack[-1]
+        return result
+
+    def speculative_writers(self, loc: tuple) -> list[int]:
+        """Thread ids with live speculative writes to ``loc`` (testing)."""
+        per_tid = self._map.get(loc)
+        return sorted(per_tid) if per_tid else []
+
+    def clear(self) -> None:
+        self._map.clear()

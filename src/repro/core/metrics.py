@@ -1,0 +1,41 @@
+"""Counters collected by the modified VM's runtime support.
+
+These back the paper's overhead discussion (§4.2): how many undo entries
+were logged and restored, how often the barrier slow path ran, how many
+revocations happened and what they cost in virtual cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+
+
+@dataclass
+class SupportMetrics:
+    """Mutable counter bundle; ``as_dict()`` feeds ``JVM.metrics()``."""
+
+    sections_entered: int = 0
+    sections_committed: int = 0
+    sections_recursive: int = 0
+    undo_entries_logged: int = 0
+    undo_entries_restored: int = 0
+    barrier_fast_hits: int = 0
+    barrier_slow_hits: int = 0
+    read_barrier_hits: int = 0
+    inversions_detected: int = 0
+    revocation_requests: int = 0
+    revocations_completed: int = 0
+    revocations_denied_nonrevocable: int = 0
+    revocations_denied_grace: int = 0
+    revocations_denied_cost: int = 0
+    rollback_cycles: int = 0
+    nonrevocable_marks: int = 0
+    nonrevocable_native: int = 0
+    nonrevocable_wait: int = 0
+    nonrevocable_dependency: int = 0
+    deadlocks_resolved: int = 0
+    priority_donations: int = 0
+    ceiling_boosts: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return asdict(self)

@@ -1,0 +1,324 @@
+"""The modified VM's runtime support: revocable synchronized sections.
+
+:class:`RollbackSupport` wires the paper's mechanisms into the VM's hook
+seam (:mod:`repro.vm.support`):
+
+* **Logging** — the write-barrier slow path appends ``(ref, offset, old)``
+  to the thread's sequential undo buffer whenever the thread executes
+  inside a synchronized section (§3.1.2).  All threads log, regardless of
+  priority, exactly as in the paper's benchmark setup ("updates of both
+  low-priority and high-priority threads are logged for fairness").
+* **JMM tracking** — every read runs the dependency check; observing
+  another thread's speculative write marks the writer's enclosing sections
+  non-revocable (§2.2), as do native calls and ``wait``.
+* **Detection** — contended acquisitions (and optionally a periodic scan)
+  feed the :class:`~repro.core.detection.InversionDetector`.
+* **Revocation** — at the holder's next yield point ``check_yield``
+  validates the pending request, processes the undo log *in reverse,
+  before any lock is released* (§3.1.2), and returns the rollback signal
+  that the interpreter then steers through the injected handlers.
+* **Deadlock breaking** and the **livelock guard** (§1).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.core.deadlock import select_victim
+from repro.core.detection import InversionDetector
+from repro.core.jmm import JmmTracker
+from repro.core.metrics import SupportMetrics
+from repro.core.sections import (
+    REASON_DEPENDENCY,
+    REASON_NATIVE,
+    REASON_VOLATILE,
+    REASON_WAIT,
+    Section,
+)
+from repro.core.undolog import UndoLog
+from repro.errors import ReproError
+from repro.vm.heap import location_of
+from repro.vm.support import RuntimeSupport
+from repro.vm.threads import RollbackSignal
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.vm.monitors import Monitor
+    from repro.vm.threads import Frame, VMThread
+
+
+class RollbackSupport(RuntimeSupport):
+    """Runtime half of the paper's contribution."""
+
+    name = "rollback"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.metrics = SupportMetrics()
+        self.jmm = JmmTracker()
+        self.detector = InversionDetector(self)
+        #: tid -> cached tuple of active sections (hot path for logging)
+        self._active_cache: dict[int, tuple[Section, ...]] = {}
+
+    # -------------------------------------------------------------- helpers
+    def _log(self, thread: "VMThread") -> UndoLog:
+        log = thread.undo_log
+        if log is None:
+            log = UndoLog(self.vm.heap)
+            thread.undo_log = log
+        return log
+
+    def _active_tuple(self, thread: "VMThread") -> tuple[Section, ...]:
+        cached = self._active_cache.get(thread.tid)
+        if cached is None:
+            cached = tuple(thread.sections)
+            self._active_cache[thread.tid] = cached
+        return cached
+
+    def _invalidate(self, thread: "VMThread") -> None:
+        self._active_cache.pop(thread.tid, None)
+
+    def can_revoke(self, holder: "VMThread", target: Section) -> bool:
+        """A section can be revoked iff it and every section nested inside
+        it (still active) are revocable — rolling back the target undoes
+        the inner sections' updates too (§2.2 footnote 1)."""
+        try:
+            idx = holder.sections.index(target)
+        except ValueError:
+            return False
+        if target.recursive:
+            return False
+        return all(s.revocable for s in holder.sections[idx:])
+
+    def pending_undo_entries(self, holder: "VMThread", target: Section) -> int:
+        """How many undo-log entries a revocation of ``target`` would
+        restore right now (the cost-aware detection extension reads this)."""
+        log = holder.undo_log
+        if log is None:
+            return 0
+        return max(0, len(log) - target.log_mark)
+
+    def _mark_all(self, thread: "VMThread", reason: str) -> int:
+        changed = 0
+        for section in thread.sections:
+            if section.mark_nonrevocable(reason):
+                changed += 1
+                self.vm.trace(
+                    "nonrevocable", thread, section=repr(section),
+                    reason=reason,
+                )
+        if changed:
+            self.metrics.nonrevocable_marks += changed
+        return changed
+
+    # -------------------------------------------------------------- monitors
+    def on_monitor_entered(
+        self,
+        thread: "VMThread",
+        monitor: "Monitor",
+        frame: "Frame",
+        sync_id: object,
+        recursive: bool,
+    ) -> int:
+        scope = frame.method.rollback_scopes.get(sync_id)
+        log = self._log(thread)
+        section = Section(
+            thread,
+            monitor,
+            frame,
+            sync_id,
+            slot=scope.slot if scope else None,
+            resume_pc=scope.save_pc if scope else None,
+            handler_pc=scope.handler_pc if scope else None,
+            log_mark=log.mark(),
+            recursive=recursive,
+            enter_time=self.vm.clock.now,
+        )
+        thread.sections.append(section)
+        self._invalidate(thread)
+        if not recursive and monitor.first_section is None:
+            monitor.first_section = section
+        self.metrics.sections_entered += 1
+        if recursive:
+            self.metrics.sections_recursive += 1
+        return 0
+
+    def on_monitor_exited(
+        self,
+        thread: "VMThread",
+        monitor: "Monitor",
+        frame: "Frame",
+        sync_id: object,
+    ) -> int:
+        if not thread.sections:
+            raise ReproError(
+                f"monitorexit with empty section stack in {thread.name!r}"
+            )
+        section = thread.sections.pop()
+        self._invalidate(thread)
+        if section.monitor is not monitor or section.sync_id != sync_id:
+            raise ReproError(
+                f"section stack mismatch in {thread.name!r}: popped "
+                f"{section!r} for exit of {sync_id!r}"
+            )
+        if not thread.sections:
+            # Outermost commit: updates become final; the buffer and the
+            # JMM dependency records are discarded.
+            log = self._log(thread)
+            self.jmm.on_commit(thread, log.locations_since(0))
+            log.truncate(0)
+            thread.consecutive_revocations = 0
+            self.metrics.sections_committed += 1
+        return 0
+
+    def on_contended_acquire(
+        self, thread: "VMThread", monitor: "Monitor"
+    ) -> int:
+        self.detector.on_contended(thread, monitor)
+        return 0
+
+    # ---------------------------------------------------------------- memory
+    def before_store(
+        self, thread: "VMThread", container, slot, old_value, volatile: bool
+    ) -> int:
+        m = self.metrics
+        m.barrier_fast_hits += 1
+        cost = self.vm.cost_model.barrier_fast
+        if thread.sections:
+            self._log(thread).append(container, slot, old_value)
+            self.jmm.on_write(
+                thread, location_of(container, slot),
+                self._active_tuple(thread),
+            )
+            m.barrier_slow_hits += 1
+            m.undo_entries_logged += 1
+            cost += self.vm.cost_model.barrier_slow
+        return cost
+
+    def after_load(
+        self, thread: "VMThread", container, slot, volatile: bool
+    ) -> int:
+        self.metrics.read_barrier_hits += 1
+        sections = self.jmm.on_read(thread, location_of(container, slot))
+        if sections:
+            reason = REASON_VOLATILE if volatile else REASON_DEPENDENCY
+            for section in sections:
+                if section.mark_nonrevocable(reason):
+                    self.metrics.nonrevocable_marks += 1
+                    self.metrics.nonrevocable_dependency += 1
+                    self.vm.trace(
+                        "nonrevocable",
+                        thread,
+                        section=repr(section),
+                        reason=reason,
+                    )
+        return self.vm.cost_model.read_barrier
+
+    # --------------------------------------------------------------- control
+    def check_yield(self, thread: "VMThread") -> Optional[RollbackSignal]:
+        target = thread.revocation_request
+        if target is None:
+            return None
+        thread.revocation_request = None
+        if target not in thread.sections:
+            return None  # the section already committed; request is stale
+        if not self.can_revoke(thread, target):
+            self.metrics.revocations_denied_nonrevocable += 1
+            return None
+        limit = self.vm.options.max_rollback_entries
+        if limit and self.pending_undo_entries(thread, target) > limit:
+            # the log grew past the budget between request and delivery
+            self.metrics.revocations_denied_cost += 1
+            return None
+        # Process the undo log in reverse, *before any lock is released*
+        # (§3.1.2) — partial results never become visible to other threads.
+        log = self._log(thread)
+        restored = log.rollback_to(
+            target.log_mark, on_undo=lambda loc: self.jmm.on_undo(thread, loc)
+        )
+        cm = self.vm.cost_model
+        cost = cm.rollback_base + cm.rollback_entry * restored
+        self.vm.charge(thread, cost)
+        m = self.metrics
+        m.undo_entries_restored += restored
+        m.rollback_cycles += cost
+        m.revocations_completed += 1
+        thread.consecutive_revocations += 1
+        opts = self.vm.options
+        if thread.consecutive_revocations >= opts.livelock_threshold:
+            exponent = thread.consecutive_revocations - opts.livelock_threshold
+            thread.grace_until = self.vm.clock.now + (
+                opts.livelock_grace << min(exponent, 16)
+            )
+            self.vm.trace(
+                "grace_granted", thread, until=thread.grace_until
+            )
+        self.vm.trace(
+            "rollback_begin", thread, section=repr(target),
+            undone=restored,
+        )
+        return RollbackSignal(target)
+
+    def on_rollback_handler(
+        self, thread: "VMThread", section: Section, is_target: bool
+    ) -> int:
+        top = thread.sections.pop()
+        self._invalidate(thread)
+        if top is not section:
+            raise ReproError(
+                f"rollback handler popped {top!r}, expected {section!r}"
+            )
+        return 0
+
+    def on_native_call(self, thread: "VMThread", name: str) -> int:
+        changed = self._mark_all(thread, REASON_NATIVE)
+        self.metrics.nonrevocable_native += changed
+        return 0
+
+    def on_wait(self, thread: "VMThread", monitor: "Monitor") -> int:
+        # §2.2: revoking past a completed wait() would "undeliver" the
+        # notification; enclosing monitors become non-revocable.  We mark
+        # the receiver's own section too (conservative: after the wait
+        # returns, a rollback to its monitorenter would lose the notify).
+        changed = self._mark_all(thread, REASON_WAIT)
+        self.metrics.nonrevocable_wait += changed
+        return 0
+
+    def on_wait_reacquired(
+        self, thread: "VMThread", monitor: "Monitor"
+    ) -> int:
+        if monitor.first_section is None:
+            monitor.first_section = thread.section_for_monitor(monitor)
+        return 0
+
+    def on_thread_exit(self, thread: "VMThread") -> None:
+        if thread.sections:
+            raise ReproError(
+                f"thread {thread.name!r} exited with active sections "
+                f"{thread.sections!r}"
+            )
+        self._invalidate(thread)
+
+    # ------------------------------------------------------------ scheduling
+    def periodic_scan(self) -> None:
+        self.detector.scan_blocked()
+
+    def resolve_deadlock(self, cycle: list["VMThread"]) -> bool:
+        if not self.vm.options.resolve_deadlocks:
+            return False
+        picked = select_victim(self, cycle)
+        if picked is None:
+            return False
+        victim, target = picked
+        victim.revocation_request = target
+        self.metrics.deadlocks_resolved += 1
+        self.metrics.revocation_requests += 1
+        self.vm.trace(
+            "deadlock_resolve", victim, section=repr(target),
+            cycle=[t.name for t in cycle],
+        )
+        self.vm.scheduler.wake_for_revocation(victim)
+        return True
+
+    # --------------------------------------------------------------- metrics
+    def collect_metrics(self) -> dict[str, int]:
+        return self.metrics.as_dict()

@@ -1,0 +1,112 @@
+"""Active synchronized-section records.
+
+A :class:`Section` is created when a thread executes ``monitorenter`` and
+destroyed when the matching ``monitorexit`` commits it or a revocation
+unwinds it.  It ties together everything a rollback needs:
+
+* the monitor and whether this was a *recursive* entry (recursive entries
+  release one recursion level; only non-recursive entries can be revocation
+  targets, since releasing an inner recursive level would not free the
+  monitor);
+* the frame and the transformer-injected scope info — which ``SAVESTATE``
+  slot holds the operand-stack/locals snapshot, where the injected
+  ``ROLLBACK_HANDLER`` lives, and the resume pc (the ``SAVESTATE`` before
+  the ``monitorenter``);
+* the undo-log *mark* delimiting this section's updates;
+* the revocability state (paper §2.2): sections become non-revocable when
+  their speculative writes are observed by another thread, when a native
+  method runs inside them, or when ``wait`` is invoked.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.vm.monitors import Monitor
+    from repro.vm.threads import Frame, VMThread
+
+_section_ids = itertools.count(1)
+
+#: why a section lost revocability (for traces, metrics and tests)
+REASON_DEPENDENCY = "read-write-dependency"
+REASON_VOLATILE = "volatile-dependency"
+REASON_NATIVE = "native-call"
+REASON_WAIT = "wait"
+REASON_UNTRANSFORMED = "no-rollback-scope"
+
+
+class Section:
+    """One dynamic execution of a synchronized section."""
+
+    __slots__ = (
+        "sid",
+        "thread",
+        "monitor",
+        "frame",
+        "sync_id",
+        "slot",
+        "resume_pc",
+        "handler_pc",
+        "log_mark",
+        "recursive",
+        "revocable",
+        "nonrevocable_reason",
+        "enter_time",
+        "depth",
+    )
+
+    def __init__(
+        self,
+        thread: "VMThread",
+        monitor: "Monitor",
+        frame: "Frame",
+        sync_id: object,
+        *,
+        slot: Optional[int],
+        resume_pc: Optional[int],
+        handler_pc: Optional[int],
+        log_mark: int,
+        recursive: bool,
+        enter_time: int,
+    ):
+        self.sid = next(_section_ids)
+        self.thread = thread
+        self.monitor = monitor
+        self.frame = frame
+        self.sync_id = sync_id
+        self.slot = slot
+        self.resume_pc = resume_pc
+        self.handler_pc = handler_pc
+        self.log_mark = log_mark
+        self.recursive = recursive
+        self.revocable = handler_pc is not None
+        self.nonrevocable_reason: Optional[str] = (
+            None if self.revocable else REASON_UNTRANSFORMED
+        )
+        self.enter_time = enter_time
+        self.depth = len(thread.sections)  # 0 = outermost
+
+    def mark_nonrevocable(self, reason: str) -> bool:
+        """Returns True when this call changed the state."""
+        if not self.revocable:
+            return False
+        self.revocable = False
+        self.nonrevocable_reason = reason
+        return True
+
+    @property
+    def is_outermost(self) -> bool:
+        return self.depth == 0
+
+    def __repr__(self) -> str:
+        flags = []
+        if self.recursive:
+            flags.append("recursive")
+        if not self.revocable:
+            flags.append(f"nonrevocable:{self.nonrevocable_reason}")
+        return (
+            f"Section#{self.sid}({self.thread.name}@{self.sync_id!r}"
+            f"{' ' + ' '.join(flags) if flags else ''})"
+        )

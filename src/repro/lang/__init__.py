@@ -1,0 +1,58 @@
+"""MiniJava: a small Java-like source language for guest programs.
+
+The paper's experimental programs are ordinary Java compiled by javac and
+then rewritten by their BCEL pass.  This package plays javac's role for
+our VM: it compiles a Java-flavoured source text into
+:class:`~repro.vm.classfile.ClassDef` objects (emitting the same javac
+idioms — e.g. the monitor-release catch-all around ``synchronized``
+blocks — via :class:`~repro.vm.assembler.Asm`), which the modified VM's
+load-time transformer then rewrites exactly as it rewrites hand-assembled
+classes.
+
+Supported language (see ``repro/lang/grammar.md`` for the full grammar)::
+
+    class Counter {
+        static int value;
+        static Counter lock;
+        volatile static int flag;
+
+        static void run(int iters) {
+            int i = 0;
+            while (i < iters) {
+                synchronized (Counter.lock) {
+                    Counter.value = Counter.value + 1;
+                }
+                i = i + 1;
+            }
+        }
+
+        static synchronized int bump() { ... }   // sync methods too
+    }
+
+Builtins map to VM intrinsics: ``sleep(n)``, ``pause(n)``, ``yieldNow()``,
+``currentTime()``, ``threadId()``, ``rand(n)``, ``print(...)``,
+``obj.wait()``, ``obj.wait(timeout)``, ``obj.notify()``,
+``obj.notifyAll()``, ``length(arr)``, ``abort(msg)``.
+
+Usage::
+
+    from repro.lang import compile_source
+
+    classes = compile_source(source_text)
+    for cls in classes:
+        vm.load(cls)
+"""
+
+from repro.lang.lexer import LexError, Token, tokenize
+from repro.lang.parser import ParseError, parse
+from repro.lang.compiler import CompileError, compile_source
+
+__all__ = [
+    "LexError",
+    "Token",
+    "tokenize",
+    "ParseError",
+    "parse",
+    "CompileError",
+    "compile_source",
+]

@@ -1,0 +1,233 @@
+"""Abstract syntax tree for MiniJava.
+
+Plain dataclasses; every node carries its source line for error messages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+# ------------------------------------------------------------- declarations
+@dataclass
+class Program:
+    classes: list["ClassDecl"]
+
+
+@dataclass
+class ClassDecl:
+    name: str
+    fields: list["FieldDecl"]
+    methods: list["MethodDecl"]
+    line: int = 0
+
+
+@dataclass
+class FieldDecl:
+    name: str
+    type_name: str          # "int" | "float" | class name (a ref)
+    is_static: bool
+    volatile: bool
+    line: int = 0
+
+
+@dataclass
+class Param:
+    name: str
+    type_name: str
+    line: int = 0
+
+
+@dataclass
+class MethodDecl:
+    name: str
+    params: list[Param]
+    return_type: str        # "void" | "int" | "float" | class name
+    body: list["Stmt"]
+    is_static: bool
+    synchronized: bool
+    line: int = 0
+
+
+# --------------------------------------------------------------- statements
+@dataclass
+class Stmt:
+    line: int = 0
+
+
+@dataclass
+class VarDecl(Stmt):
+    name: str = ""
+    type_name: str = "var"
+    init: Optional["Expr"] = None
+
+
+@dataclass
+class Assign(Stmt):
+    target: "Expr" = None   # Name / FieldAccess / StaticAccess / Index
+    value: "Expr" = None
+
+
+@dataclass
+class ExprStmt(Stmt):
+    expr: "Expr" = None
+
+
+@dataclass
+class If(Stmt):
+    cond: "Expr" = None
+    then: list[Stmt] = field(default_factory=list)
+    orelse: list[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class While(Stmt):
+    cond: "Expr" = None
+    body: list[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class DoWhile(Stmt):
+    body: list[Stmt] = field(default_factory=list)
+    cond: "Expr" = None
+
+
+@dataclass
+class For(Stmt):
+    init: Optional[Stmt] = None
+    cond: Optional["Expr"] = None
+    step: Optional[Stmt] = None
+    body: list[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class Synchronized(Stmt):
+    monitor: "Expr" = None
+    body: list[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class Return(Stmt):
+    value: Optional["Expr"] = None
+
+
+@dataclass
+class Throw(Stmt):
+    value: "Expr" = None
+
+
+@dataclass
+class Try(Stmt):
+    body: list[Stmt] = field(default_factory=list)
+    #: (exception class name, binding variable name or None, handler body)
+    catches: list[tuple[str, Optional[str], list[Stmt]]] = field(
+        default_factory=list
+    )
+    finally_body: Optional[list[Stmt]] = None
+
+
+@dataclass
+class Break(Stmt):
+    pass
+
+
+@dataclass
+class Continue(Stmt):
+    pass
+
+
+# -------------------------------------------------------------- expressions
+@dataclass
+class Expr:
+    line: int = 0
+
+
+@dataclass
+class IntLit(Expr):
+    value: int = 0
+
+
+@dataclass
+class FloatLit(Expr):
+    value: float = 0.0
+
+
+@dataclass
+class StringLit(Expr):
+    value: str = ""
+
+
+@dataclass
+class NullLit(Expr):
+    pass
+
+
+@dataclass
+class BoolLit(Expr):
+    value: bool = False
+
+
+@dataclass
+class Name(Expr):
+    """A bare identifier: a local variable or a class name (resolved by
+    the compiler from context)."""
+
+    name: str = ""
+
+
+@dataclass
+class FieldAccess(Expr):
+    """``expr.field`` — instance field read (or static read when ``obj``
+    resolves to a class name)."""
+
+    obj: Expr = None
+    field_name: str = ""
+
+
+@dataclass
+class Index(Expr):
+    array: Expr = None
+    index: Expr = None
+
+
+@dataclass
+class Call(Expr):
+    """``name(args)`` (builtin or same-class static),
+    ``Class.method(args)`` (static), or ``expr.method(args)``
+    (instance / monitor builtin)."""
+
+    target: Optional[Expr] = None   # None for bare calls
+    method: str = ""
+    args: list[Expr] = field(default_factory=list)
+
+
+@dataclass
+class New(Expr):
+    class_name: str = ""
+
+
+@dataclass
+class NewArray(Expr):
+    length: Expr = None
+    fill: int = 0
+
+
+@dataclass
+class Unary(Expr):
+    op: str = ""
+    operand: Expr = None
+
+
+@dataclass
+class Binary(Expr):
+    op: str = ""
+    left: Expr = None
+    right: Expr = None
+
+
+@dataclass
+class Ternary(Expr):
+    cond: Expr = None
+    then: Expr = None
+    orelse: Expr = None

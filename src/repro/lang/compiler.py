@@ -1,0 +1,646 @@
+"""MiniJava code generation: AST -> :class:`repro.vm.classfile.ClassDef`.
+
+Emits through :class:`repro.vm.assembler.Asm`, so the produced bytecode has
+exactly the javac idioms the load-time transformer expects (cached monitor
+refs, release-on-exception handlers, finally duplication).  ``synchronized``
+*methods* are left flagged, not expanded — wrapping them is the modified
+VM's transformer's job, as in the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.lang import ast
+from repro.lang.parser import parse
+from repro.vm import bytecode as bc
+from repro.vm.assembler import Asm, Label
+from repro.vm.classfile import ClassDef, FieldDef
+
+
+class CompileError(Exception):
+    """Semantic error with source position."""
+
+    def __init__(self, message: str, line: int = 0):
+        self.line = line
+        super().__init__(
+            f"{message}" + (f" (line {line})" if line else "")
+        )
+
+
+def compile_source(source: str) -> list[ClassDef]:
+    """Compile MiniJava source text into loadable classes."""
+    return compile_program(parse(source))
+
+
+def compile_program(program: ast.Program) -> list[ClassDef]:
+    env = _ProgramEnv(program)
+    return [_ClassCompiler(env, decl).compile() for decl in program.classes]
+
+
+# --------------------------------------------------------------------- env
+class _ProgramEnv:
+    """Whole-program symbol information for name resolution."""
+
+    def __init__(self, program: ast.Program):
+        self.classes: dict[str, ast.ClassDecl] = {}
+        for decl in program.classes:
+            if decl.name in self.classes:
+                raise CompileError(
+                    f"duplicate class {decl.name!r}", decl.line
+                )
+            self.classes[decl.name] = decl
+        #: method name -> class names defining it (instance-call lookup)
+        self.method_owners: dict[str, list[str]] = {}
+        for decl in program.classes:
+            for m in decl.methods:
+                self.method_owners.setdefault(m.name, []).append(decl.name)
+
+    def is_class(self, name: str) -> bool:
+        return name in self.classes
+
+    def field_of(self, class_name: str, field_name: str):
+        decl = self.classes.get(class_name)
+        if decl is None:
+            return None
+        for f in decl.fields:
+            if f.name == field_name:
+                return f
+        return None
+
+    def resolve_instance_method(self, method: str, line: int) -> str:
+        owners = self.method_owners.get(method, [])
+        if not owners:
+            raise CompileError(f"no method {method!r} in program", line)
+        if len(set(owners)) > 1:
+            raise CompileError(
+                f"ambiguous instance call {method!r} (defined in "
+                f"{sorted(set(owners))}); use ClassName.{method}(...)",
+                line,
+            )
+        return owners[0]
+
+
+def _field_kind(type_name: str) -> str:
+    return type_name if type_name in ("int", "float") else "ref"
+
+
+#: builtins: name -> (min argc, max argc)
+_BUILTINS = {
+    "sleep": (1, 1),
+    "pause": (1, 1),
+    "yieldNow": (0, 0),
+    "currentTime": (0, 0),
+    "threadId": (0, 0),
+    "rand": (1, 1),
+    "print": (0, 64),
+    "abort": (0, 1),
+    "length": (1, 1),
+    "nativeCall": (1, 65),
+}
+
+#: builtins that leave a value on the stack
+_VALUE_BUILTINS = frozenset({"currentTime", "threadId", "rand", "length"})
+
+_MONITOR_BUILTINS = frozenset({"wait", "notify", "notifyAll"})
+
+
+# ----------------------------------------------------------------- classes
+class _ClassCompiler:
+    def __init__(self, env: _ProgramEnv, decl: ast.ClassDecl):
+        self.env = env
+        self.decl = decl
+
+    def compile(self) -> ClassDef:
+        fields = [
+            FieldDef(
+                f.name,
+                _field_kind(f.type_name),
+                volatile=f.volatile,
+                is_static=f.is_static,
+            )
+            for f in self.decl.fields
+        ]
+        cls = ClassDef(self.decl.name, fields=fields)
+        for m in self.decl.methods:
+            cls.add_method(_MethodCompiler(self.env, self.decl, m).compile())
+        return cls
+
+
+class _LoopContext:
+    def __init__(self, break_label: Label, continue_label: Label):
+        self.break_label = break_label
+        self.continue_label = continue_label
+
+
+class _MethodCompiler:
+    def __init__(self, env: _ProgramEnv, cls: ast.ClassDecl,
+                 decl: ast.MethodDecl):
+        self.env = env
+        self.cls = cls
+        self.decl = decl
+        argc = len(decl.params) + (0 if decl.is_static else 1)
+        self.asm = Asm(
+            decl.name,
+            argc=argc,
+            is_static=decl.is_static,
+            synchronized=decl.synchronized,
+            returns_value=decl.return_type != "void",
+        )
+        #: lexical scopes: name -> local slot
+        self.scopes: list[dict[str, int]] = [{}]
+        self.loops: list[_LoopContext] = []
+        if not decl.is_static:
+            self.scopes[0]["this"] = 0
+            offset = 1
+        else:
+            offset = 0
+        for i, p in enumerate(decl.params):
+            self._declare(p.name, offset + i, p.line)
+
+    # ---------------------------------------------------------------- scopes
+    def _declare(self, name: str, slot: Optional[int], line: int) -> int:
+        if name in self.scopes[-1]:
+            raise CompileError(f"duplicate variable {name!r}", line)
+        if slot is None:
+            slot = self.asm.local(name)
+        self.scopes[-1][name] = slot
+        return slot
+
+    def _lookup(self, name: str) -> Optional[int]:
+        for scope in reversed(self.scopes):
+            if name in scope:
+                return scope[name]
+        return None
+
+    def _scoped(self, fn: Callable[[], None]) -> None:
+        self.scopes.append({})
+        try:
+            fn()
+        finally:
+            self.scopes.pop()
+
+    # ----------------------------------------------------------------- entry
+    def compile(self):
+        for stmt in self.decl.body:
+            self.stmt(stmt)
+        # implicit return at the end of a void method
+        if self.decl.return_type == "void":
+            self.asm.ret()
+        else:
+            code = self.asm.code
+            if not code or code[-1].op not in (bc.RETURN, bc.ATHROW,
+                                               bc.GOTO):
+                raise CompileError(
+                    f"{self.cls.name}.{self.decl.name}: missing return",
+                    self.decl.line,
+                )
+        return self.asm.build()
+
+    # ------------------------------------------------------------ statements
+    def stmt(self, node: ast.Stmt) -> None:
+        a = self.asm
+        if isinstance(node, ast.VarDecl):
+            slot = self._declare(node.name, None, node.line)
+            if node.init is not None:
+                self.expr(node.init)
+            else:
+                default = 0.0 if node.type_name == "float" else 0
+                a.const(default)
+            a.store(slot)
+        elif isinstance(node, ast.Assign):
+            self._assign(node)
+        elif isinstance(node, ast.ExprStmt):
+            produces = self.expr(node.expr)
+            if produces:
+                a.pop()
+        elif isinstance(node, ast.If):
+            self.expr(node.cond)
+            else_l = a.label("else")
+            end_l = a.label("endif")
+            a.ifnot(else_l)
+            self._scoped(lambda: self._stmts(node.then))
+            if node.orelse:
+                a.goto(end_l)
+                a.place(else_l)
+                self._scoped(lambda: self._stmts(node.orelse))
+                a.place(end_l)
+            else:
+                a.place(else_l)
+        elif isinstance(node, ast.While):
+            top = a.label("while")
+            end = a.label("endwhile")
+            a.place(top)
+            self.expr(node.cond)
+            a.ifnot(end)
+            self.loops.append(_LoopContext(end, top))
+            try:
+                self._scoped(lambda: self._stmts(node.body))
+            finally:
+                self.loops.pop()
+            a.goto(top)
+            a.place(end)
+        elif isinstance(node, ast.DoWhile):
+            top = a.label("do")
+            cond_l = a.label("docond")
+            end = a.label("enddo")
+            a.place(top)
+            self.loops.append(_LoopContext(end, cond_l))
+            try:
+                self._scoped(lambda: self._stmts(node.body))
+            finally:
+                self.loops.pop()
+            a.place(cond_l)
+            self.expr(node.cond)
+            a.if_(top)
+            a.place(end)
+        elif isinstance(node, ast.For):
+            self._for(node)
+        elif isinstance(node, ast.Synchronized):
+            self.expr(node.monitor)
+            with a.sync():
+                self._scoped(lambda: self._stmts(node.body))
+        elif isinstance(node, ast.Try):
+            self._try(node)
+        elif isinstance(node, ast.Return):
+            if self.decl.return_type == "void":
+                if node.value is not None:
+                    raise CompileError(
+                        "void method cannot return a value", node.line
+                    )
+            else:
+                if node.value is None:
+                    raise CompileError(
+                        "missing return value", node.line
+                    )
+                self.expr(node.value)
+            a.ret()
+        elif isinstance(node, ast.Throw):
+            self.expr(node.value)
+            a.athrow()
+        elif isinstance(node, ast.Break):
+            if not self.loops:
+                raise CompileError("break outside a loop", node.line)
+            a.goto(self.loops[-1].break_label)
+        elif isinstance(node, ast.Continue):
+            if not self.loops:
+                raise CompileError("continue outside a loop", node.line)
+            a.goto(self.loops[-1].continue_label)
+        else:  # pragma: no cover - parser produces no other nodes
+            raise CompileError(f"unknown statement {node!r}", node.line)
+
+    def _stmts(self, body: list[ast.Stmt]) -> None:
+        for s in body:
+            self.stmt(s)
+
+    def _for(self, node: ast.For) -> None:
+        a = self.asm
+
+        def emit() -> None:
+            if node.init is not None:
+                self.stmt(node.init)
+            top = a.label("for")
+            step_l = a.label("forstep")
+            end = a.label("endfor")
+            a.place(top)
+            if node.cond is not None:
+                self.expr(node.cond)
+                a.ifnot(end)
+            self.loops.append(_LoopContext(end, step_l))
+            try:
+                self._scoped(lambda: self._stmts(node.body))
+            finally:
+                self.loops.pop()
+            a.place(step_l)
+            if node.step is not None:
+                self.stmt(node.step)
+            a.goto(top)
+            a.place(end)
+
+        self._scoped(emit)
+
+    def _try(self, node: ast.Try) -> None:
+        a = self.asm
+        catches = []
+        for exc_type, binding, body in node.catches:
+            def handler(binding=binding, body=body):
+                def emit() -> None:
+                    if binding is None:
+                        a.pop()
+                    else:
+                        slot = self._declare(binding, None, node.line)
+                        a.store(slot)
+                    self._stmts(body)
+                self._scoped(emit)
+            catches.append((exc_type, handler))
+        finally_fn = None
+        if node.finally_body is not None:
+            def finally_fn():
+                self._scoped(lambda: self._stmts(node.finally_body))
+        a.try_(
+            body=lambda: self._scoped(lambda: self._stmts(node.body)),
+            catches=catches,
+            finally_=finally_fn,
+        )
+
+    def _assign(self, node: ast.Assign) -> None:
+        a = self.asm
+        target = node.target
+        if isinstance(target, ast.Name):
+            slot = self._lookup(target.name)
+            if slot is not None:
+                self.expr(node.value)
+                a.store(slot)
+                return
+            # unqualified own-class field
+            field = self.env.field_of(self.cls.name, target.name)
+            if field is None:
+                raise CompileError(
+                    f"unknown variable {target.name!r}", target.line
+                )
+            if field.is_static:
+                self.expr(node.value)
+                a.putstatic(self.cls.name, target.name)
+            else:
+                self._load_this(target.line)
+                self.expr(node.value)
+                a.putfield(target.name)
+            return
+        if isinstance(target, ast.FieldAccess):
+            if self._is_class_ref(target.obj):
+                self.expr(node.value)
+                a.putstatic(target.obj.name, target.field_name)
+            else:
+                self.expr(target.obj)
+                self.expr(node.value)
+                a.putfield(target.field_name)
+            return
+        if isinstance(target, ast.Index):
+            self.expr(target.array)
+            self.expr(target.index)
+            self.expr(node.value)
+            a.astore()
+            return
+        raise CompileError("invalid assignment target", node.line)
+
+    # ----------------------------------------------------------- expressions
+    def expr(self, node: ast.Expr) -> bool:
+        """Emit ``node``; returns True when a value was left on the stack."""
+        a = self.asm
+        if isinstance(node, ast.IntLit):
+            a.const(node.value)
+        elif isinstance(node, ast.FloatLit):
+            a.const(node.value)
+        elif isinstance(node, ast.StringLit):
+            a.const(node.value)
+        elif isinstance(node, ast.NullLit):
+            from repro.vm.values import NULL
+
+            a.const(NULL)
+        elif isinstance(node, ast.BoolLit):
+            a.const(1 if node.value else 0)
+        elif isinstance(node, ast.Name):
+            self._name(node)
+        elif isinstance(node, ast.FieldAccess):
+            if self._is_class_ref(node.obj):
+                a.getstatic(node.obj.name, node.field_name)
+            else:
+                self.expr(node.obj)
+                a.getfield(node.field_name)
+        elif isinstance(node, ast.Index):
+            self.expr(node.array)
+            self.expr(node.index)
+            a.aload()
+        elif isinstance(node, ast.New):
+            a.new(node.class_name)
+        elif isinstance(node, ast.NewArray):
+            self.expr(node.length)
+            a.newarray(node.fill)
+        elif isinstance(node, ast.Unary):
+            self.expr(node.operand)
+            a.neg() if node.op == "-" else a.not_()
+        elif isinstance(node, ast.Binary):
+            return self._binary(node)
+        elif isinstance(node, ast.Ternary):
+            else_l = a.label("tern_else")
+            end_l = a.label("tern_end")
+            self.expr(node.cond)
+            a.ifnot(else_l)
+            self.expr(node.then)
+            a.goto(end_l)
+            a.place(else_l)
+            self.expr(node.orelse)
+            a.place(end_l)
+        elif isinstance(node, ast.Call):
+            return self._call(node)
+        else:  # pragma: no cover
+            raise CompileError(f"unknown expression {node!r}", node.line)
+        return True
+
+    def _name(self, node: ast.Name) -> None:
+        slot = self._lookup(node.name)
+        if slot is not None:
+            self.asm.load(slot)
+            return
+        field = self.env.field_of(self.cls.name, node.name)
+        if field is not None:
+            if field.is_static:
+                self.asm.getstatic(self.cls.name, node.name)
+            else:
+                self._load_this(node.line)
+                self.asm.getfield(node.name)
+            return
+        raise CompileError(f"unknown variable {node.name!r}", node.line)
+
+    def _load_this(self, line: int) -> None:
+        slot = self._lookup("this")
+        if slot is None:
+            raise CompileError(
+                "instance member used in a static method", line
+            )
+        self.asm.load(slot)
+
+    def _is_class_ref(self, node: ast.Expr) -> bool:
+        return (
+            isinstance(node, ast.Name)
+            and self._lookup(node.name) is None
+            and self.env.field_of(self.cls.name, node.name) is None
+            and self.env.is_class(node.name)
+        )
+
+    _BINOPS = {
+        "+": "add", "-": "sub", "*": "mul", "/": "div", "%": "mod",
+        "<": "lt", "<=": "le", ">": "gt", ">=": "ge",
+        "==": "eq", "!=": "ne",
+        "&": "and_", "|": "or_", "^": "xor", "<<": "shl", ">>": "shr",
+    }
+
+    def _binary(self, node: ast.Binary) -> bool:
+        a = self.asm
+        if node.op in ("&&", "||"):
+            # short-circuit, normalized to 0/1
+            false_l = a.label("sc_false")
+            true_l = a.label("sc_true")
+            end = a.label("sc_end")
+            self.expr(node.left)
+            if node.op == "&&":
+                a.ifnot(false_l)
+                self.expr(node.right)
+                a.ifnot(false_l)
+                a.const(1)
+                a.goto(end)
+                a.place(false_l)
+                a.const(0)
+                a.place(end)
+                a.place(true_l)  # unused but keeps label accounting simple
+            else:
+                a.if_(true_l)
+                self.expr(node.right)
+                a.if_(true_l)
+                a.const(0)
+                a.goto(end)
+                a.place(true_l)
+                a.const(1)
+                a.place(end)
+                a.place(false_l)
+            return True
+        method = self._BINOPS.get(node.op)
+        if method is None:  # pragma: no cover - parser filters operators
+            raise CompileError(f"unknown operator {node.op!r}", node.line)
+        self.expr(node.left)
+        self.expr(node.right)
+        getattr(a, method)()
+        return True
+
+    # ---------------------------------------------------------------- calls
+    def _call(self, node: ast.Call) -> bool:
+        a = self.asm
+        # monitor builtins: expr.wait(), expr.notify(), expr.notifyAll()
+        if node.target is not None and node.method in _MONITOR_BUILTINS:
+            if self._is_class_ref(node.target):
+                raise CompileError(
+                    f"{node.method} needs an object, not a class",
+                    node.line,
+                )
+            self.expr(node.target)
+            if node.method == "wait":
+                if len(node.args) == 1:
+                    self.expr(node.args[0])
+                    a.timed_wait()
+                elif not node.args:
+                    a.wait_()
+                else:
+                    raise CompileError("wait takes 0 or 1 argument",
+                                       node.line)
+            elif node.method == "notify":
+                self._expect_argc(node, 0)
+                a.notify()
+            else:
+                self._expect_argc(node, 0)
+                a.notifyall()
+            return False
+        # static call Class.method(args)
+        if node.target is not None and self._is_class_ref(node.target):
+            for arg in node.args:
+                self.expr(arg)
+            a.invoke(node.target.name, node.method, len(node.args))
+            return self._call_returns(node.target.name, node.method)
+        # instance call expr.method(args): receiver becomes arg 0
+        if node.target is not None:
+            owner = self.env.resolve_instance_method(node.method, node.line)
+            self.expr(node.target)
+            for arg in node.args:
+                self.expr(arg)
+            a.invoke(owner, node.method, 1 + len(node.args))
+            return self._call_returns(owner, node.method)
+        # bare call: builtin, else same-class static
+        if node.method in _BUILTINS:
+            return self._builtin(node)
+        for arg in node.args:
+            self.expr(arg)
+        a.invoke(self.cls.name, node.method, len(node.args))
+        return self._call_returns(self.cls.name, node.method)
+
+    def _call_returns(self, class_name: str, method: str) -> bool:
+        decl = self.env.classes.get(class_name)
+        if decl is None:
+            raise CompileError(f"unknown class {class_name!r}")
+        for m in decl.methods:
+            if m.name == method:
+                return m.return_type != "void"
+        raise CompileError(f"no method {class_name}.{method}")
+
+    def _expect_argc(self, node: ast.Call, count: int) -> None:
+        if len(node.args) != count:
+            raise CompileError(
+                f"{node.method} takes {count} argument(s), got "
+                f"{len(node.args)}",
+                node.line,
+            )
+
+    def _const_int_arg(self, node: ast.Call, index: int) -> int:
+        arg = node.args[index]
+        if not isinstance(arg, ast.IntLit):
+            raise CompileError(
+                f"{node.method} needs a constant integer argument",
+                node.line,
+            )
+        return arg.value
+
+    def _builtin(self, node: ast.Call) -> bool:
+        a = self.asm
+        lo, hi = _BUILTINS[node.method]
+        if not (lo <= len(node.args) <= hi):
+            raise CompileError(
+                f"{node.method} takes {lo}..{hi} arguments", node.line
+            )
+        name = node.method
+        if name == "sleep":
+            self.expr(node.args[0])
+            a.sleep()
+            return False
+        if name == "pause":
+            a.pause(self._const_int_arg(node, 0))
+            return False
+        if name == "yieldNow":
+            a.yield_()
+            return False
+        if name == "currentTime":
+            a.time()
+            return True
+        if name == "threadId":
+            a.tid()
+            return True
+        if name == "rand":
+            a.rand(self._const_int_arg(node, 0))
+            return True
+        if name == "print":
+            for arg in node.args:
+                self.expr(arg)
+            a.native("println", len(node.args))
+            return False
+        if name == "abort":
+            for arg in node.args:
+                self.expr(arg)
+            a.native("abort", len(node.args))
+            return False
+        if name == "length":
+            self.expr(node.args[0])
+            a.arraylen()
+            return True
+        if name == "nativeCall":
+            target = node.args[0]
+            if not isinstance(target, ast.StringLit):
+                raise CompileError(
+                    "nativeCall's first argument must be a string literal",
+                    node.line,
+                )
+            for arg in node.args[1:]:
+                self.expr(arg)
+            a.native(target.value, len(node.args) - 1)
+            # generic natives may or may not push; assume value (callers
+            # in statement position will pop a pushed value; natives that
+            # return None push nothing, so require expression use only
+            # for value-returning natives)
+            return False
+        raise CompileError(f"unknown builtin {name!r}", node.line)

@@ -1,0 +1,171 @@
+"""Tokenizer for the MiniJava source language."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+KEYWORDS = frozenset({
+    "class", "static", "volatile", "synchronized", "native",
+    "int", "float", "void", "var",
+    "if", "else", "while", "do", "for", "return", "new", "null",
+    "try", "catch", "finally", "throw", "break", "continue",
+    "true", "false",
+})
+
+#: multi-character operators, longest first so maximal munch works
+_OPERATORS = (
+    "+=", "-=", "*=", "/=", "%=", "++", "--",
+    "<<", ">>", "<=", ">=", "==", "!=", "&&", "||",
+    "+", "-", "*", "/", "%", "<", ">", "=", "!",
+    "&", "|", "^", "(", ")", "{", "}", "[", "]",
+    ";", ",", ".", "?", ":",
+)
+
+
+class LexError(Exception):
+    """Bad input character or malformed literal."""
+
+    def __init__(self, message: str, line: int, col: int):
+        self.line = line
+        self.col = col
+        super().__init__(f"{message} at line {line}:{col}")
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexeme.
+
+    ``kind`` is ``ident``/``keyword``/``int``/``float``/``string``/``op``/
+    ``eof``; ``value`` holds the decoded literal for number/string tokens
+    and the raw text otherwise.
+    """
+
+    kind: str
+    text: str
+    value: object
+    line: int
+    col: int
+
+    def is_op(self, *ops: str) -> bool:
+        return self.kind == "op" and self.text in ops
+
+    def is_kw(self, *kws: str) -> bool:
+        return self.kind == "keyword" and self.text in kws
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind} {self.text!r} @{self.line}:{self.col})"
+
+
+def tokenize(source: str) -> list[Token]:
+    """Tokenize ``source``; the result always ends with an ``eof`` token."""
+    return list(_scan(source))
+
+
+def _scan(source: str) -> Iterator[Token]:
+    i = 0
+    line = 1
+    col = 1
+    n = len(source)
+
+    def advance(count: int) -> None:
+        nonlocal i, line, col
+        for _ in range(count):
+            if i < n and source[i] == "\n":
+                line += 1
+                col = 1
+            else:
+                col += 1
+            i += 1
+
+    while i < n:
+        ch = source[i]
+        # whitespace
+        if ch in " \t\r\n":
+            advance(1)
+            continue
+        # comments
+        if source.startswith("//", i):
+            while i < n and source[i] != "\n":
+                advance(1)
+            continue
+        if source.startswith("/*", i):
+            start_line, start_col = line, col
+            advance(2)
+            while i < n and not source.startswith("*/", i):
+                advance(1)
+            if i >= n:
+                raise LexError("unterminated block comment",
+                               start_line, start_col)
+            advance(2)
+            continue
+        # numbers (integer / float; underscores allowed as in Java 7+)
+        if ch.isdigit():
+            start = i
+            start_line, start_col = line, col
+            while i < n and (source[i].isdigit() or source[i] == "_"):
+                advance(1)
+            is_float = False
+            if i < n and source[i] == "." and i + 1 < n and \
+                    source[i + 1].isdigit():
+                is_float = True
+                advance(1)
+                while i < n and (source[i].isdigit() or source[i] == "_"):
+                    advance(1)
+            text = source[start:i]
+            clean = text.replace("_", "")
+            value: object = float(clean) if is_float else int(clean)
+            yield Token("float" if is_float else "int", text, value,
+                        start_line, start_col)
+            continue
+        # identifiers / keywords
+        if ch.isalpha() or ch == "_":
+            start = i
+            start_line, start_col = line, col
+            while i < n and (source[i].isalnum() or source[i] == "_"):
+                advance(1)
+            text = source[start:i]
+            if text in KEYWORDS:
+                yield Token("keyword", text, text, start_line, start_col)
+            else:
+                yield Token("ident", text, text, start_line, start_col)
+            continue
+        # string literals
+        if ch == '"':
+            start_line, start_col = line, col
+            advance(1)
+            chars: list[str] = []
+            while i < n and source[i] != '"':
+                c = source[i]
+                if c == "\n":
+                    raise LexError("unterminated string literal",
+                                   start_line, start_col)
+                if c == "\\":
+                    advance(1)
+                    if i >= n:
+                        break
+                    esc = source[i]
+                    chars.append(
+                        {"n": "\n", "t": "\t", '"': '"', "\\": "\\"}
+                        .get(esc, esc)
+                    )
+                    advance(1)
+                else:
+                    chars.append(c)
+                    advance(1)
+            if i >= n:
+                raise LexError("unterminated string literal",
+                               start_line, start_col)
+            advance(1)  # closing quote
+            yield Token("string", "".join(chars), "".join(chars),
+                        start_line, start_col)
+            continue
+        # operators and punctuation
+        for op in _OPERATORS:
+            if source.startswith(op, i):
+                yield Token("op", op, op, line, col)
+                advance(len(op))
+                break
+        else:
+            raise LexError(f"unexpected character {ch!r}", line, col)
+    yield Token("eof", "", None, line, col)

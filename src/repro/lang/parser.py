@@ -1,0 +1,499 @@
+"""Recursive-descent parser for MiniJava.
+
+Grammar (informal; ``repro/lang/__init__`` shows an example program)::
+
+    program     := class*
+    class       := "class" IDENT "{" (field | method)* "}"
+    field       := modifiers type IDENT ";"
+    method      := modifiers (type | "void") IDENT "(" params ")" block
+    modifiers   := ("static" | "volatile" | "synchronized")*
+    type        := "int" | "float" | "var" | IDENT
+    block       := "{" stmt* "}"
+    stmt        := varDecl | if | while | for | sync | try | return
+                 | throw | break | continue | exprStmt | assignment
+    expr        := or ( "||" etc. by precedence climbing )
+
+Operator precedence, loosest first::
+
+    ||  &&  (== !=)  (< <= > >=)  (| ^ &)  (<< >>)  (+ -)  (* / %)  unary
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.lang import ast
+from repro.lang.lexer import Token, tokenize
+
+
+class ParseError(Exception):
+    """Syntax error with source position."""
+
+    def __init__(self, message: str, token: Token):
+        self.token = token
+        super().__init__(
+            f"{message} at line {token.line}:{token.col} "
+            f"(near {token.text!r})"
+        )
+
+
+_BINARY_LEVELS: list[tuple[str, ...]] = [
+    ("||",),
+    ("&&",),
+    ("==", "!="),
+    ("<", "<=", ">", ">="),
+    ("|", "^", "&"),
+    ("<<", ">>"),
+    ("+", "-"),
+    ("*", "/", "%"),
+]
+
+_TYPE_KEYWORDS = ("int", "float", "var")
+
+
+def parse(source: str) -> ast.Program:
+    """Parse source text into a :class:`repro.lang.ast.Program`."""
+    return _Parser(tokenize(source)).parse_program()
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]):
+        self.tokens = tokens
+        self.pos = 0
+
+    # ------------------------------------------------------------- plumbing
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.pos]
+
+    def peek(self, offset: int = 1) -> Token:
+        return self.tokens[min(self.pos + offset, len(self.tokens) - 1)]
+
+    def advance(self) -> Token:
+        tok = self.current
+        if tok.kind != "eof":
+            self.pos += 1
+        return tok
+
+    def expect_op(self, op: str) -> Token:
+        if not self.current.is_op(op):
+            raise ParseError(f"expected {op!r}", self.current)
+        return self.advance()
+
+    def expect_kw(self, kw: str) -> Token:
+        if not self.current.is_kw(kw):
+            raise ParseError(f"expected keyword {kw!r}", self.current)
+        return self.advance()
+
+    def expect_ident(self) -> Token:
+        if self.current.kind != "ident":
+            raise ParseError("expected an identifier", self.current)
+        return self.advance()
+
+    def accept_op(self, op: str) -> bool:
+        if self.current.is_op(op):
+            self.advance()
+            return True
+        return False
+
+    # ------------------------------------------------------------- program
+    def parse_program(self) -> ast.Program:
+        classes = []
+        while not self.current.kind == "eof":
+            classes.append(self.parse_class())
+        if not classes:
+            raise ParseError("empty program", self.current)
+        return ast.Program(classes)
+
+    def parse_class(self) -> ast.ClassDecl:
+        kw = self.expect_kw("class")
+        name = self.expect_ident().text
+        self.expect_op("{")
+        fields: list[ast.FieldDecl] = []
+        methods: list[ast.MethodDecl] = []
+        while not self.accept_op("}"):
+            member = self.parse_member(name)
+            if isinstance(member, ast.FieldDecl):
+                fields.append(member)
+            else:
+                methods.append(member)
+        return ast.ClassDecl(name, fields, methods, line=kw.line)
+
+    def parse_member(self, class_name: str):
+        start = self.current
+        is_static = volatile = synchronized = False
+        while self.current.is_kw("static", "volatile", "synchronized"):
+            kw = self.advance().text
+            if kw == "static":
+                is_static = True
+            elif kw == "volatile":
+                volatile = True
+            else:
+                synchronized = True
+        type_name = self.parse_type(allow_void=True)
+        name = self.expect_ident().text
+        if self.current.is_op("("):
+            if volatile:
+                raise ParseError("methods cannot be volatile", start)
+            return self.parse_method(
+                name, type_name, is_static, synchronized, start.line
+            )
+        if synchronized:
+            raise ParseError("fields cannot be synchronized", start)
+        if type_name == "void":
+            raise ParseError("fields cannot be void", start)
+        self.expect_op(";")
+        return ast.FieldDecl(
+            name, type_name, is_static=is_static, volatile=volatile,
+            line=start.line,
+        )
+
+    def parse_type(self, *, allow_void: bool = False) -> str:
+        tok = self.current
+        if tok.is_kw(*_TYPE_KEYWORDS):
+            return self.advance().text
+        if allow_void and tok.is_kw("void"):
+            return self.advance().text
+        if tok.kind == "ident":
+            return self.advance().text
+        raise ParseError("expected a type", tok)
+
+    def parse_method(
+        self, name: str, return_type: str, is_static: bool,
+        synchronized: bool, line: int,
+    ) -> ast.MethodDecl:
+        self.expect_op("(")
+        params: list[ast.Param] = []
+        if not self.current.is_op(")"):
+            while True:
+                ptype = self.parse_type()
+                pname = self.expect_ident()
+                params.append(
+                    ast.Param(pname.text, ptype, line=pname.line)
+                )
+                if not self.accept_op(","):
+                    break
+        self.expect_op(")")
+        body = self.parse_block()
+        return ast.MethodDecl(
+            name, params, return_type, body,
+            is_static=is_static, synchronized=synchronized, line=line,
+        )
+
+    # ----------------------------------------------------------- statements
+    def parse_block(self) -> list[ast.Stmt]:
+        self.expect_op("{")
+        stmts: list[ast.Stmt] = []
+        while not self.accept_op("}"):
+            stmts.append(self.parse_stmt())
+        return stmts
+
+    def parse_stmt(self) -> ast.Stmt:
+        tok = self.current
+        if tok.is_kw("if"):
+            return self.parse_if()
+        if tok.is_kw("while"):
+            return self.parse_while()
+        if tok.is_kw("do"):
+            return self.parse_do_while()
+        if tok.is_kw("for"):
+            return self.parse_for()
+        if tok.is_kw("synchronized"):
+            return self.parse_synchronized()
+        if tok.is_kw("try"):
+            return self.parse_try()
+        if tok.is_kw("return"):
+            self.advance()
+            value = None
+            if not self.current.is_op(";"):
+                value = self.parse_expr()
+            self.expect_op(";")
+            return ast.Return(line=tok.line, value=value)
+        if tok.is_kw("throw"):
+            self.advance()
+            value = self.parse_expr()
+            self.expect_op(";")
+            return ast.Throw(line=tok.line, value=value)
+        if tok.is_kw("break"):
+            self.advance()
+            self.expect_op(";")
+            return ast.Break(line=tok.line)
+        if tok.is_kw("continue"):
+            self.advance()
+            self.expect_op(";")
+            return ast.Continue(line=tok.line)
+        if self._looks_like_var_decl():
+            return self.parse_var_decl()
+        return self.parse_assign_or_expr_stmt()
+
+    def _looks_like_var_decl(self) -> bool:
+        tok = self.current
+        if tok.is_kw(*_TYPE_KEYWORDS):
+            return True
+        # "Foo x = ..." — identifier followed by identifier
+        return tok.kind == "ident" and self.peek().kind == "ident"
+
+    def parse_var_decl(self) -> ast.VarDecl:
+        tok = self.current
+        type_name = self.parse_type()
+        name = self.expect_ident().text
+        init: Optional[ast.Expr] = None
+        if self.accept_op("="):
+            init = self.parse_expr()
+        self.expect_op(";")
+        return ast.VarDecl(
+            line=tok.line, name=name, type_name=type_name, init=init
+        )
+
+    _COMPOUND_OPS = {"+=": "+", "-=": "-", "*=": "*", "/=": "/",
+                     "%=": "%"}
+
+    def parse_assign_or_expr_stmt(self, *, consume_semi=True) -> ast.Stmt:
+        tok = self.current
+        expr = self.parse_expr()
+
+        def check_target():
+            if not isinstance(
+                expr, (ast.Name, ast.FieldAccess, ast.Index)
+            ):
+                raise ParseError("invalid assignment target", tok)
+
+        def finish(stmt):
+            if consume_semi:
+                self.expect_op(";")
+            return stmt
+
+        if self.accept_op("="):
+            value = self.parse_expr()
+            check_target()
+            return finish(
+                ast.Assign(line=tok.line, target=expr, value=value)
+            )
+        for op_text, bin_op in self._COMPOUND_OPS.items():
+            if self.accept_op(op_text):
+                value = self.parse_expr()
+                check_target()
+                # x op= v  desugars to  x = x op (v)
+                return finish(ast.Assign(
+                    line=tok.line, target=expr,
+                    value=ast.Binary(line=tok.line, op=bin_op,
+                                     left=expr, right=value),
+                ))
+        if self.current.is_op("++", "--"):
+            op_tok = self.advance()
+            check_target()
+            delta = ast.IntLit(line=op_tok.line, value=1)
+            bin_op = "+" if op_tok.text == "++" else "-"
+            return finish(ast.Assign(
+                line=tok.line, target=expr,
+                value=ast.Binary(line=op_tok.line, op=bin_op,
+                                 left=expr, right=delta),
+            ))
+        if consume_semi:
+            self.expect_op(";")
+        if not isinstance(expr, ast.Call):
+            raise ParseError(
+                "expression statement must be a call", tok
+            )
+        return ast.ExprStmt(line=tok.line, expr=expr)
+
+    def parse_if(self) -> ast.If:
+        tok = self.expect_kw("if")
+        self.expect_op("(")
+        cond = self.parse_expr()
+        self.expect_op(")")
+        then = self.parse_stmt_or_block()
+        orelse: list[ast.Stmt] = []
+        if self.current.is_kw("else"):
+            self.advance()
+            orelse = self.parse_stmt_or_block()
+        return ast.If(line=tok.line, cond=cond, then=then, orelse=orelse)
+
+    def parse_while(self) -> ast.While:
+        tok = self.expect_kw("while")
+        self.expect_op("(")
+        cond = self.parse_expr()
+        self.expect_op(")")
+        body = self.parse_stmt_or_block()
+        return ast.While(line=tok.line, cond=cond, body=body)
+
+    def parse_do_while(self) -> ast.DoWhile:
+        tok = self.expect_kw("do")
+        body = self.parse_block()
+        self.expect_kw("while")
+        self.expect_op("(")
+        cond = self.parse_expr()
+        self.expect_op(")")
+        self.expect_op(";")
+        return ast.DoWhile(line=tok.line, body=body, cond=cond)
+
+    def parse_for(self) -> ast.For:
+        tok = self.expect_kw("for")
+        self.expect_op("(")
+        init: Optional[ast.Stmt] = None
+        if not self.current.is_op(";"):
+            if self._looks_like_var_decl():
+                init = self.parse_var_decl()  # consumes the ';'
+            else:
+                init = self.parse_assign_or_expr_stmt()  # consumes ';'
+        else:
+            self.advance()
+        cond: Optional[ast.Expr] = None
+        if not self.current.is_op(";"):
+            cond = self.parse_expr()
+        self.expect_op(";")
+        step: Optional[ast.Stmt] = None
+        if not self.current.is_op(")"):
+            step = self.parse_assign_or_expr_stmt(consume_semi=False)
+        self.expect_op(")")
+        body = self.parse_stmt_or_block()
+        return ast.For(line=tok.line, init=init, cond=cond, step=step,
+                       body=body)
+
+    def parse_synchronized(self) -> ast.Synchronized:
+        tok = self.expect_kw("synchronized")
+        self.expect_op("(")
+        monitor = self.parse_expr()
+        self.expect_op(")")
+        body = self.parse_block()
+        return ast.Synchronized(line=tok.line, monitor=monitor, body=body)
+
+    def parse_try(self) -> ast.Try:
+        tok = self.expect_kw("try")
+        body = self.parse_block()
+        catches: list[tuple[str, Optional[str], list[ast.Stmt]]] = []
+        while self.current.is_kw("catch"):
+            self.advance()
+            self.expect_op("(")
+            exc_type = self.expect_ident().text
+            binding: Optional[str] = None
+            if self.current.kind == "ident":
+                binding = self.advance().text
+            self.expect_op(")")
+            catches.append((exc_type, binding, self.parse_block()))
+        finally_body: Optional[list[ast.Stmt]] = None
+        if self.current.is_kw("finally"):
+            self.advance()
+            finally_body = self.parse_block()
+        if not catches and finally_body is None:
+            raise ParseError("try without catch or finally", tok)
+        return ast.Try(line=tok.line, body=body, catches=catches,
+                       finally_body=finally_body)
+
+    def parse_stmt_or_block(self) -> list[ast.Stmt]:
+        if self.current.is_op("{"):
+            return self.parse_block()
+        return [self.parse_stmt()]
+
+    # ----------------------------------------------------------- expressions
+    def parse_expr(self) -> ast.Expr:
+        cond = self._parse_binary(0)
+        if self.current.is_op("?"):
+            tok = self.advance()
+            then = self.parse_expr()
+            self.expect_op(":")
+            orelse = self.parse_expr()
+            return ast.Ternary(line=tok.line, cond=cond, then=then,
+                               orelse=orelse)
+        return cond
+
+    def _parse_binary(self, level: int) -> ast.Expr:
+        if level >= len(_BINARY_LEVELS):
+            return self.parse_unary()
+        ops = _BINARY_LEVELS[level]
+        left = self._parse_binary(level + 1)
+        while self.current.is_op(*ops):
+            op_tok = self.advance()
+            right = self._parse_binary(level + 1)
+            left = ast.Binary(line=op_tok.line, op=op_tok.text,
+                              left=left, right=right)
+        return left
+
+    def parse_unary(self) -> ast.Expr:
+        tok = self.current
+        if tok.is_op("-", "!"):
+            self.advance()
+            operand = self.parse_unary()
+            return ast.Unary(line=tok.line, op=tok.text, operand=operand)
+        return self.parse_postfix()
+
+    def parse_postfix(self) -> ast.Expr:
+        expr = self.parse_primary()
+        while True:
+            tok = self.current
+            if tok.is_op("."):
+                self.advance()
+                member = self.expect_ident().text
+                if self.current.is_op("("):
+                    args = self.parse_args()
+                    expr = ast.Call(line=tok.line, target=expr,
+                                    method=member, args=args)
+                else:
+                    expr = ast.FieldAccess(line=tok.line, obj=expr,
+                                           field_name=member)
+            elif tok.is_op("["):
+                self.advance()
+                index = self.parse_expr()
+                self.expect_op("]")
+                expr = ast.Index(line=tok.line, array=expr, index=index)
+            else:
+                return expr
+
+    def parse_args(self) -> list[ast.Expr]:
+        self.expect_op("(")
+        args: list[ast.Expr] = []
+        if not self.current.is_op(")"):
+            while True:
+                args.append(self.parse_expr())
+                if not self.accept_op(","):
+                    break
+        self.expect_op(")")
+        return args
+
+    def parse_primary(self) -> ast.Expr:
+        tok = self.current
+        if tok.kind == "int":
+            self.advance()
+            return ast.IntLit(line=tok.line, value=tok.value)
+        if tok.kind == "float":
+            self.advance()
+            return ast.FloatLit(line=tok.line, value=tok.value)
+        if tok.kind == "string":
+            self.advance()
+            return ast.StringLit(line=tok.line, value=tok.value)
+        if tok.is_kw("null"):
+            self.advance()
+            return ast.NullLit(line=tok.line)
+        if tok.is_kw("true", "false"):
+            self.advance()
+            return ast.BoolLit(line=tok.line, value=tok.text == "true")
+        if tok.is_kw("new"):
+            self.advance()
+            if self.current.is_kw("int", "float", "var"):
+                self.advance()
+                self.expect_op("[")
+                length = self.parse_expr()
+                self.expect_op("]")
+                return ast.NewArray(line=tok.line, length=length)
+            class_name = self.expect_ident().text
+            if self.current.is_op("["):
+                self.advance()
+                length = self.parse_expr()
+                self.expect_op("]")
+                return ast.NewArray(line=tok.line, length=length)
+            self.expect_op("(")
+            self.expect_op(")")
+            return ast.New(line=tok.line, class_name=class_name)
+        if tok.is_op("("):
+            self.advance()
+            expr = self.parse_expr()
+            self.expect_op(")")
+            return expr
+        if tok.kind == "ident":
+            self.advance()
+            if self.current.is_op("("):
+                args = self.parse_args()
+                return ast.Call(line=tok.line, target=None,
+                                method=tok.text, args=args)
+            return ast.Name(line=tok.line, name=tok.text)
+        raise ParseError("expected an expression", tok)

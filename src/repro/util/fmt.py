@@ -1,0 +1,101 @@
+"""Plain-text rendering of benchmark results.
+
+The harness prints each reproduced figure as (a) a CSV-like table of the
+series the paper plots, and (b) an ASCII line chart so the *shape* — which
+line is lower, where they cross — is visible directly in terminal output.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    *,
+    float_fmt: str = "{:.3f}",
+) -> str:
+    """Render rows as an aligned monospace table with a header rule."""
+
+    def cell(v: object) -> str:
+        if isinstance(v, float):
+            return float_fmt.format(v)
+        return str(v)
+
+    str_rows = [[cell(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError("row width does not match header width")
+        for i, v in enumerate(row):
+            widths[i] = max(widths[i], len(v))
+    lines = [
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)).rstrip(),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in str_rows:
+        lines.append(
+            "  ".join(v.rjust(widths[i]) for i, v in enumerate(row)).rstrip()
+        )
+    return "\n".join(lines)
+
+
+def ascii_chart(
+    xs: Sequence[float],
+    series: Mapping[str, Sequence[float]],
+    *,
+    width: int = 60,
+    height: int = 16,
+    title: str = "",
+    y_label: str = "",
+) -> str:
+    """Plot one or more series against shared x values using text cells.
+
+    Each series gets a distinct glyph; collisions render as ``#``.  The y
+    axis is scaled to the min/max across all series (padded 5%), matching how
+    the paper's gnuplot panels auto-scale.
+    """
+    if not xs:
+        raise ValueError("no x values")
+    for name, ys in series.items():
+        if len(ys) != len(xs):
+            raise ValueError(f"series {name!r} length mismatch")
+    glyphs = "*o+x@%&"
+    all_y = [y for ys in series.values() for y in ys]
+    lo, hi = min(all_y), max(all_y)
+    if hi == lo:
+        hi = lo + 1.0
+    pad = 0.05 * (hi - lo)
+    lo -= pad
+    hi += pad
+    x_lo, x_hi = min(xs), max(xs)
+    x_span = (x_hi - x_lo) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for si, (name, ys) in enumerate(series.items()):
+        g = glyphs[si % len(glyphs)]
+        for x, y in zip(xs, ys):
+            col = round((x - x_lo) / x_span * (width - 1))
+            row = round((hi - y) / (hi - lo) * (height - 1))
+            cur = grid[row][col]
+            grid[row][col] = g if cur in (" ", g) else "#"
+
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    legend = "   ".join(
+        f"{glyphs[i % len(glyphs)]} {name}" for i, name in enumerate(series)
+    )
+    lines.append(legend)
+    for r, row in enumerate(grid):
+        y_val = hi - (hi - lo) * r / (height - 1)
+        label = f"{y_val:8.3f} |"
+        lines.append(label + "".join(row))
+    axis = " " * 9 + "+" + "-" * width
+    lines.append(axis)
+    ticks = " " * 10 + f"{x_lo:<10.4g}" + " " * max(0, width - 20) + f"{x_hi:>10.4g}"
+    lines.append(ticks)
+    if y_label:
+        lines.append(f"(y: {y_label})")
+    return "\n".join(lines)

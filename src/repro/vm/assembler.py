@@ -1,0 +1,440 @@
+"""Structured bytecode assembler.
+
+:class:`Asm` builds :class:`~repro.vm.classfile.MethodDef` bodies the way
+``javac`` emits them — in particular, ``sync()`` blocks produce the exact
+javac shape for ``synchronized`` statements (monitor reference cached in a
+temp local, a catch-all handler that releases the monitor and rethrows).
+That shape matters: the paper's transformer operates on javac output, so our
+transformer is tested against the same idioms.
+
+Branch targets are :class:`Label` objects resolved to pcs by :meth:`Asm.build`,
+which also computes ``max_locals`` and runs bytecode verification.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Callable, Optional, Sequence
+
+from repro.errors import VerifyError
+from repro.vm import bytecode as bc
+from repro.vm.bytecode import Instruction
+from repro.vm.classfile import ExceptionTableEntry, MethodDef, THROWABLE
+
+
+class Label:
+    """A forward-referencable branch target."""
+
+    __slots__ = ("pc", "name")
+
+    def __init__(self, name: str = ""):
+        self.pc: Optional[int] = None
+        self.name = name
+
+    def __repr__(self) -> str:
+        ident = self.name or f"{id(self):#x}"
+        return f"Label({ident}@{self.pc})"
+
+
+class Asm:
+    """Builder for one method body.
+
+    Instance methods receive the receiver in local 0; declare ``argc``
+    accordingly (it includes the receiver).  Every emitter returns ``self``
+    so simple sequences can be chained.
+    """
+
+    _sync_counter = 0
+
+    def __init__(
+        self,
+        name: str,
+        argc: int = 0,
+        *,
+        is_static: bool = True,
+        synchronized: bool = False,
+        returns_value: bool = False,
+    ):
+        self.name = name
+        self.argc = argc
+        self.is_static = is_static
+        self.synchronized = synchronized
+        self.returns_value = returns_value
+        self.code: list[Instruction] = []
+        self.exc_entries: list[tuple[Label, Label, Label, Optional[str]]] = []
+        self._next_local = argc
+        self._built = False
+
+    # ------------------------------------------------------------------ locals
+    def local(self, name: str = "") -> int:
+        """Allocate a fresh local variable slot."""
+        idx = self._next_local
+        self._next_local += 1
+        return idx
+
+    def arg(self, i: int) -> int:
+        """Local slot of the i-th argument (0 = receiver for instance)."""
+        if not (0 <= i < self.argc):
+            raise VerifyError(f"{self.name}: no argument {i}")
+        return i
+
+    # ------------------------------------------------------------------ emit
+    def emit(self, op: int, a=None, b=None) -> "Asm":
+        self.code.append(Instruction(op, a, b))
+        return self
+
+    def const(self, v) -> "Asm":
+        return self.emit(bc.CONST, v)
+
+    def load(self, idx: int) -> "Asm":
+        return self.emit(bc.LOAD, idx)
+
+    def store(self, idx: int) -> "Asm":
+        return self.emit(bc.STORE, idx)
+
+    def iinc(self, idx: int, delta: int = 1) -> "Asm":
+        return self.emit(bc.IINC, idx, delta)
+
+    def dup(self) -> "Asm":
+        return self.emit(bc.DUP)
+
+    def pop(self) -> "Asm":
+        return self.emit(bc.POP)
+
+    def swap(self) -> "Asm":
+        return self.emit(bc.SWAP)
+
+    def add(self) -> "Asm":
+        return self.emit(bc.ADD)
+
+    def sub(self) -> "Asm":
+        return self.emit(bc.SUB)
+
+    def mul(self) -> "Asm":
+        return self.emit(bc.MUL)
+
+    def div(self) -> "Asm":
+        return self.emit(bc.DIV)
+
+    def mod(self) -> "Asm":
+        return self.emit(bc.MOD)
+
+    def neg(self) -> "Asm":
+        return self.emit(bc.NEG)
+
+    def and_(self) -> "Asm":
+        return self.emit(bc.AND)
+
+    def or_(self) -> "Asm":
+        return self.emit(bc.OR)
+
+    def xor(self) -> "Asm":
+        return self.emit(bc.XOR)
+
+    def shl(self) -> "Asm":
+        return self.emit(bc.SHL)
+
+    def shr(self) -> "Asm":
+        return self.emit(bc.SHR)
+
+    def not_(self) -> "Asm":
+        return self.emit(bc.NOT)
+
+    def eq(self) -> "Asm":
+        return self.emit(bc.EQ)
+
+    def ne(self) -> "Asm":
+        return self.emit(bc.NE)
+
+    def lt(self) -> "Asm":
+        return self.emit(bc.LT)
+
+    def le(self) -> "Asm":
+        return self.emit(bc.LE)
+
+    def gt(self) -> "Asm":
+        return self.emit(bc.GT)
+
+    def ge(self) -> "Asm":
+        return self.emit(bc.GE)
+
+    # ---------------------------------------------------------------- labels
+    def label(self, name: str = "") -> Label:
+        return Label(name)
+
+    def place(self, label: Label) -> "Asm":
+        if label.pc is not None:
+            raise VerifyError(f"{self.name}: label {label!r} placed twice")
+        label.pc = len(self.code)
+        return self
+
+    def goto(self, label: Label) -> "Asm":
+        return self.emit(bc.GOTO, label)
+
+    def if_(self, label: Label) -> "Asm":
+        return self.emit(bc.IF, label)
+
+    def ifnot(self, label: Label) -> "Asm":
+        return self.emit(bc.IFNOT, label)
+
+    # ------------------------------------------------------------------ heap
+    def new(self, class_name: str) -> "Asm":
+        return self.emit(bc.NEW, class_name)
+
+    def newarray(self, fill=0) -> "Asm":
+        return self.emit(bc.NEWARRAY, fill)
+
+    def getfield(self, name: str) -> "Asm":
+        return self.emit(bc.GETFIELD, name)
+
+    def putfield(self, name: str) -> "Asm":
+        return self.emit(bc.PUTFIELD, name)
+
+    def getstatic(self, class_name: str, name: str) -> "Asm":
+        return self.emit(bc.GETSTATIC, (class_name, name))
+
+    def putstatic(self, class_name: str, name: str) -> "Asm":
+        return self.emit(bc.PUTSTATIC, (class_name, name))
+
+    def aload(self) -> "Asm":
+        return self.emit(bc.ALOAD)
+
+    def astore(self) -> "Asm":
+        return self.emit(bc.ASTORE)
+
+    def arraylen(self) -> "Asm":
+        return self.emit(bc.ARRAYLEN)
+
+    def classref(self, class_name: str) -> "Asm":
+        return self.emit(bc.CLASSREF, class_name)
+
+    # ----------------------------------------------------------------- calls
+    def invoke(self, class_name: str, method: str, argc: int) -> "Asm":
+        return self.emit(bc.INVOKE, (class_name, method), argc)
+
+    def native(self, name: str, argc: int = 0) -> "Asm":
+        return self.emit(bc.NATIVE, name, argc)
+
+    def ret(self) -> "Asm":
+        return self.emit(bc.RETURN, 1 if self.returns_value else 0)
+
+    def athrow(self) -> "Asm":
+        return self.emit(bc.ATHROW)
+
+    def throw_new(self, class_name: str) -> "Asm":
+        """Allocate and immediately throw a guest exception object."""
+        return self.new(class_name).athrow()
+
+    # --------------------------------------------------------------- threads
+    def wait_(self) -> "Asm":
+        return self.emit(bc.WAIT)
+
+    def timed_wait(self) -> "Asm":
+        return self.emit(bc.TIMED_WAIT)
+
+    def notify(self) -> "Asm":
+        return self.emit(bc.NOTIFY)
+
+    def notifyall(self) -> "Asm":
+        return self.emit(bc.NOTIFYALL)
+
+    def sleep(self) -> "Asm":
+        return self.emit(bc.SLEEP)
+
+    def yield_(self) -> "Asm":
+        return self.emit(bc.YIELD)
+
+    def pause(self, mean_cycles: int) -> "Asm":
+        return self.emit(bc.PAUSE, mean_cycles)
+
+    def time(self) -> "Asm":
+        return self.emit(bc.TIME)
+
+    def tid(self) -> "Asm":
+        return self.emit(bc.TID)
+
+    def rand(self, bound: int) -> "Asm":
+        return self.emit(bc.RAND, bound)
+
+    def debug(self, tag: str) -> "Asm":
+        return self.emit(bc.DEBUG, tag)
+
+    # --------------------------------------------------- structured statements
+    @contextmanager
+    def sync(self):
+        """``synchronized (ref) { ... }`` with the monitor ref on the stack.
+
+        Emits the exact javac pattern::
+
+            store   tmp          ; cache monitor ref
+            load    tmp
+            monitorenter #id
+            ...body...
+            load    tmp
+            monitorexit #id
+            goto    END
+          H: load   tmp          ; catch-all: release on the way out
+            monitorexit #id
+            athrow
+          END:
+
+        and registers the catch-all exception-table entry over the body.
+        """
+        Asm._sync_counter += 1
+        sync_id = f"{self.name}#{Asm._sync_counter}"
+        tmp = self.local()
+        self.store(tmp)
+        self.load(tmp)
+        self.emit(bc.MONITORENTER, sync_id)
+        body_start = self.label("sync_body")
+        self.place(body_start)
+        yield sync_id
+        body_end = self.label("sync_end")
+        self.place(body_end)
+        self.load(tmp)
+        self.emit(bc.MONITOREXIT, sync_id)
+        done = self.label("sync_done")
+        self.goto(done)
+        handler = self.label("sync_release")
+        self.place(handler)
+        self.load(tmp)
+        self.emit(bc.MONITOREXIT, sync_id)
+        self.athrow()
+        self.place(done)
+        self.exc_entries.append((body_start, body_end, handler, None))
+
+    def while_(
+        self, cond: Callable[[], None], body: Callable[[], None]
+    ) -> "Asm":
+        """Top-tested loop: ``cond`` must leave one value on the stack."""
+        top = self.label("while_top")
+        end = self.label("while_end")
+        self.place(top)
+        cond()
+        self.ifnot(end)
+        body()
+        self.goto(top)  # back-edge: yield point
+        self.place(end)
+        return self
+
+    def for_range(
+        self, var: int, count_expr: Callable[[], None], body: Callable[[], None]
+    ) -> "Asm":
+        """``for (var = 0; var < count; var++) body`` with ``count``
+        evaluated once into a temp local."""
+        limit = self.local()
+        count_expr()
+        self.store(limit)
+        self.const(0).store(var)
+        self.while_(
+            lambda: self.load(var).load(limit).lt(),
+            lambda: (body(), self.iinc(var, 1)),
+        )
+        return self
+
+    def if_then(
+        self,
+        cond: Callable[[], None],
+        then: Callable[[], None],
+        orelse: Callable[[], None] | None = None,
+    ) -> "Asm":
+        """``if (cond) then else orelse`` — ``cond`` leaves one stack value."""
+        cond()
+        else_l = self.label("if_else")
+        end_l = self.label("if_end")
+        self.ifnot(else_l)
+        then()
+        if orelse is not None:
+            self.goto(end_l)
+            self.place(else_l)
+            orelse()
+            self.place(end_l)
+        else:
+            self.place(else_l)
+        return self
+
+    def try_(
+        self,
+        body: Callable[[], None],
+        catches: Sequence[tuple[str, Callable[[], None]]] = (),
+        finally_: Callable[[], None] | None = None,
+    ) -> "Asm":
+        """``try { body } catch (T) { ... } finally { ... }``.
+
+        Catch handlers run with the guest exception on the stack (they must
+        consume it).  The finally body is duplicated at every exit as javac
+        does: after the try body, after each catch, and in a catch-all
+        re-throw handler.
+        """
+        t_start = self.label("try_start")
+        t_end = self.label("try_end")
+        done = self.label("try_done")
+        self.place(t_start)
+        body()
+        self.place(t_end)
+        if finally_ is not None:
+            finally_()
+        self.goto(done)
+        handler_labels: list[tuple[Label, str]] = []
+        for exc_type, handler_fn in catches:
+            h = self.label(f"catch_{exc_type}")
+            self.place(h)
+            handler_fn()  # exception ref is on the stack
+            if finally_ is not None:
+                finally_()
+            self.goto(done)
+            handler_labels.append((h, exc_type))
+        fin_handler: Label | None = None
+        if finally_ is not None:
+            fin_handler = self.label("finally_rethrow")
+            self.place(fin_handler)
+            tmp = self.local()
+            self.store(tmp)
+            finally_()
+            self.load(tmp)
+            self.athrow()
+        self.place(done)
+        cover_end = t_end
+        for h, exc_type in handler_labels:
+            self.exc_entries.append((t_start, cover_end, h, exc_type))
+        if fin_handler is not None:
+            # The finally catch-all also covers the typed handlers, matching
+            # javac: an exception escaping a catch block still runs finally.
+            self.exc_entries.append((t_start, fin_handler, fin_handler, None))
+        return self
+
+    # ----------------------------------------------------------------- build
+    def build(self) -> MethodDef:
+        """Resolve labels, verify, and produce the :class:`MethodDef`."""
+        if self._built:
+            raise VerifyError(f"{self.name}: build() called twice")
+        self._built = True
+        for ins in self.code:
+            if bc.is_branch(ins.op) and isinstance(ins.a, Label):
+                if ins.a.pc is None:
+                    raise VerifyError(
+                        f"{self.name}: unplaced label {ins.a!r}"
+                    )
+                ins.a = ins.a.pc
+        table = []
+        for start, end, handler, exc_type in self.exc_entries:
+            for lab in (start, end, handler):
+                if lab.pc is None:
+                    raise VerifyError(
+                        f"{self.name}: unplaced exception label {lab!r}"
+                    )
+            table.append(
+                ExceptionTableEntry(start.pc, end.pc, handler.pc, exc_type)
+            )
+        method = MethodDef(
+            name=self.name,
+            argc=self.argc,
+            max_locals=max(self._next_local, self.argc),
+            code=self.code,
+            exc_table=table,
+            synchronized=self.synchronized,
+            is_static=self.is_static,
+            returns_value=self.returns_value,
+        )
+        method.verify()
+        return method

@@ -1,0 +1,79 @@
+"""Native method registry.
+
+Native methods are host Python callables ``fn(vm, thread, args) -> value``
+invoked by the ``NATIVE`` bytecode.  Their effects happen outside the guest
+heap, so they can never be revoked: the runtime support marks every
+enclosing synchronized section non-revocable before the call (paper §2.2 —
+"calling a native method within a monitor also forces non-revocability of
+the monitor (and all of its enclosing monitors if it is nested)").
+
+A small standard library is pre-registered on every VM: console output
+(captured, not printed, so benchmarks stay quiet and tests can assert on
+it), string building, and an abort primitive.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, TYPE_CHECKING
+
+from repro.errors import GuestRuntimeError, LinkError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.vm.threads import VMThread
+    from repro.vm.vmcore import JVM
+
+NativeFn = Callable[["JVM", "VMThread", list], Any]
+
+
+class NativeRegistry:
+    """Name -> callable mapping with a captured console."""
+
+    def __init__(self) -> None:
+        self._natives: dict[str, NativeFn] = {}
+        self.console: list[str] = []
+        self._register_stdlib()
+
+    def register(self, name: str, fn: NativeFn) -> None:
+        if name in self._natives:
+            raise LinkError(f"native {name!r} already registered")
+        self._natives[name] = fn
+
+    def resolve(self, name: str) -> NativeFn:
+        try:
+            return self._natives[name]
+        except KeyError:
+            raise LinkError(f"no native method {name!r}") from None
+
+    # ------------------------------------------------------------- stdlib
+    def _register_stdlib(self) -> None:
+        console = self.console
+
+        def println(vm: "JVM", thread: "VMThread", args: list) -> None:
+            console.append(" ".join(_to_text(a) for a in args))
+            return None
+
+        def print_time(vm: "JVM", thread: "VMThread", args: list) -> None:
+            console.append(f"[{vm.clock.now}] " +
+                           " ".join(_to_text(a) for a in args))
+            return None
+
+        def abort(vm: "JVM", thread: "VMThread", args: list) -> None:
+            message = " ".join(_to_text(a) for a in args) or "abort()"
+            raise GuestRuntimeError(message, guest_class="Error")
+
+        def identity_hash(vm: "JVM", thread: "VMThread", args: list) -> int:
+            (ref,) = args
+            return getattr(ref, "oid", 0)
+
+        self._natives["println"] = println
+        self._natives["printTime"] = print_time
+        self._natives["abort"] = abort
+        self._natives["identityHashCode"] = identity_hash
+
+
+def _to_text(value: Any) -> str:
+    from repro.vm.values import NULL
+
+    if value is NULL:
+        return "null"
+    return str(value)

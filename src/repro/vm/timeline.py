@@ -1,0 +1,127 @@
+"""ASCII timelines from execution traces.
+
+Renders one row per thread over virtual time, showing when each thread held
+a monitor, sat blocked, waited, and — on the modified VM — when it was
+revoked.  Built entirely from the structured trace (``VMOptions(trace=True)``
+required), so it works post-mortem on any finished run::
+
+    vm = JVM(VMOptions(mode="rollback", trace=True))
+    ...
+    vm.run()
+    print(render_timeline(vm))
+
+Legend::
+
+    #   inside a synchronized section (holding its monitor)
+    -   blocked on a monitor entry queue
+    w   in a wait set (Object.wait)
+    R   revocation: the section was rolled back here
+    D   deadlock resolved by revoking this thread
+    .   otherwise live (running, ready or sleeping)
+    (space) not yet started / already terminated
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.vm.vmcore import JVM
+
+
+def _intervals(events, start_kinds, end_kinds):
+    """Per-thread [start, end) intervals delimited by event kinds."""
+    open_at: dict[str, int] = {}
+    spans: dict[str, list[tuple[int, int]]] = {}
+    for e in events:
+        if e.thread is None:
+            continue
+        if e.kind in start_kinds and e.thread not in open_at:
+            open_at[e.thread] = e.time
+        elif e.kind in end_kinds and e.thread in open_at:
+            spans.setdefault(e.thread, []).append(
+                (open_at.pop(e.thread), e.time)
+            )
+    return spans, open_at
+
+
+def render_timeline(
+    vm: "JVM",
+    *,
+    width: int = 80,
+    start: Optional[int] = None,
+    end: Optional[int] = None,
+) -> str:
+    """Render the run as one timeline row per thread."""
+    events = vm.tracer.events
+    if not events:
+        return "(no trace events — run the VM with VMOptions(trace=True))"
+    t0 = start if start is not None else events[0].time
+    t1 = end if end is not None else max(vm.clock.now, events[-1].time)
+    if t1 <= t0:
+        t1 = t0 + 1
+    span = t1 - t0
+
+    def col(time: int) -> int:
+        c = int((time - t0) * width / span)
+        return max(0, min(width - 1, c))
+
+    names = [t.name for t in vm.threads]
+    rows = {name: [" "] * width for name in names}
+
+    # life span: first event .. exit (or run end)
+    first_seen: dict[str, int] = {}
+    exit_at: dict[str, int] = {}
+    for e in events:
+        if e.thread in rows and e.thread not in first_seen:
+            first_seen[e.thread] = e.time
+        if e.kind == "exit" and e.thread in rows:
+            exit_at[e.thread] = e.time
+    for name in names:
+        born = first_seen.get(name)
+        if born is None:
+            continue
+        died = exit_at.get(name, t1)
+        for c in range(col(born), col(died) + 1):
+            rows[name][c] = "."
+
+    def paint(spans_open, glyph):
+        spans, still_open = spans_open
+        for name, intervals in spans.items():
+            if name not in rows:
+                continue
+            for s, e in intervals:
+                for c in range(col(s), col(e) + 1):
+                    rows[name][c] = glyph
+        for name, s in still_open.items():
+            if name in rows:
+                for c in range(col(s), width):
+                    rows[name][c] = glyph
+
+    paint(_intervals(events, {"block"}, {"acquire", "wakeup",
+                                         "rollback_done", "exit"}), "-")
+    paint(_intervals(events, {"wait"}, {"wait_return", "wait_timeout",
+                                        "notify", "exit"}), "w")
+    paint(_intervals(events, {"acquire"}, {"release", "rollback_release",
+                                           "exit"}), "#")
+
+    # point markers win over intervals
+    for e in events:
+        if e.thread not in rows:
+            continue
+        if e.kind == "rollback_done":
+            rows[e.thread][col(e.time)] = "R"
+        elif e.kind == "deadlock_resolve":
+            rows[e.thread][col(e.time)] = "D"
+
+    name_width = max((len(n) for n in names), default=4)
+    lines = [
+        f"virtual time {t0} .. {t1} "
+        f"({span} cycles, {span // width}/column)",
+        "legend: # in section   - blocked   w waiting   R rollback   "
+        "D deadlock victim   . live",
+        "",
+    ]
+    for name in names:
+        lines.append(f"{name:>{name_width}} |{''.join(rows[name])}|")
+    return "\n".join(lines)

@@ -1,0 +1,80 @@
+"""Structured execution tracing.
+
+When enabled (``VMOptions.trace=True``) the VM records every scheduling,
+synchronization, revocation and JMM event as a :class:`TraceEvent`.  Tests
+assert on these traces (e.g. "no default handlers ran during a rollback",
+"the high-priority thread acquired the monitor immediately after the
+revocation"); examples print them to narrate executions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Optional
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One event: virtual time, kind, acting thread, free-form details."""
+
+    time: int
+    kind: str
+    thread: Optional[str]
+    details: dict[str, Any] = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        parts = [f"[{self.time:>10}]", self.kind]
+        if self.thread is not None:
+            parts.append(f"thread={self.thread}")
+        for k, v in self.details.items():
+            parts.append(f"{k}={v}")
+        return " ".join(parts)
+
+
+class Tracer:
+    """Append-only event log with query helpers."""
+
+    def __init__(self, enabled: bool = False, capacity: int = 1_000_000):
+        self.enabled = enabled
+        self.capacity = capacity
+        self.events: list[TraceEvent] = []
+        self.dropped = 0
+
+    def record(
+        self, time: int, kind: str, thread_name: Optional[str], **details
+    ) -> None:
+        if not self.enabled:
+            return
+        if len(self.events) >= self.capacity:
+            self.dropped += 1
+            return
+        self.events.append(TraceEvent(time, kind, thread_name, details))
+
+    # -------------------------------------------------------------- queries
+    def of_kind(self, *kinds: str) -> list[TraceEvent]:
+        want = set(kinds)
+        return [e for e in self.events if e.kind in want]
+
+    def for_thread(self, name: str) -> list[TraceEvent]:
+        return [e for e in self.events if e.thread == name]
+
+    def count(self, kind: str) -> int:
+        return sum(1 for e in self.events if e.kind == kind)
+
+    def first(self, kind: str) -> Optional[TraceEvent]:
+        for e in self.events:
+            if e.kind == kind:
+                return e
+        return None
+
+    def last(self, kind: str) -> Optional[TraceEvent]:
+        for e in reversed(self.events):
+            if e.kind == kind:
+                return e
+        return None
+
+    def between(self, start: int, end: int) -> list[TraceEvent]:
+        return [e for e in self.events if start <= e.time < end]
+
+    def render(self, events: Iterable[TraceEvent] | None = None) -> str:
+        return "\n".join(str(e) for e in (events or self.events))

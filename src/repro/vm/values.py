@@ -1,0 +1,98 @@
+"""Guest value model.
+
+The simulated VM manipulates a small set of value kinds, mapped onto host
+Python values for speed:
+
+===========  =======================================
+guest kind   host representation
+===========  =======================================
+``int``      :class:`int` (arbitrary precision; the cost model, not the
+             bit width, models machine arithmetic)
+``float``    :class:`float`
+``null``     :data:`NULL` (the module-level singleton)
+``ref``      :class:`repro.vm.heap.VMObject` / :class:`~repro.vm.heap.VMArray`
+``str``      :class:`str` — constants only, for native I/O and exception
+             messages; guest code cannot mutate strings
+===========  =======================================
+
+Guest booleans are ints (0/1) exactly as in real JVM bytecode.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+
+class _Null:
+    """The guest ``null`` reference.
+
+    A dedicated singleton (not Python ``None``) so that accidental host
+    ``None`` leaking into guest state is caught by tests instead of silently
+    behaving like a guest value.
+    """
+
+    __slots__ = ()
+    _instance: "_Null | None" = None
+
+    def __new__(cls) -> "_Null":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "null"
+
+    def __bool__(self) -> bool:
+        return False
+
+
+NULL = _Null()
+
+
+def is_reference(value: Any) -> bool:
+    """True for heap references and ``null`` (the JVM ``a``-kinds)."""
+    # Import here to avoid a cycle: heap imports values for defaults.
+    from repro.vm.heap import VMArray, VMObject
+
+    return value is NULL or isinstance(value, (VMObject, VMArray))
+
+
+def truthy(value: Any) -> bool:
+    """Branch condition semantics for ``IF``: zero, ``null`` and ``0.0``
+    are false; everything else is true."""
+    if value is NULL:
+        return False
+    return bool(value)
+
+
+_DEFAULTS = {
+    "int": 0,
+    "float": 0.0,
+    "ref": NULL,
+    "str": "",
+}
+
+
+def default_value(kind: str) -> Any:
+    """JVM default initialization for a field of the given kind."""
+    try:
+        return _DEFAULTS[kind]
+    except KeyError:
+        raise ValueError(f"unknown field kind {kind!r}") from None
+
+
+def kind_of(value: Any) -> str:
+    """Classify a host value into its guest kind (used by the verifier)."""
+    from repro.vm.heap import VMArray, VMObject
+
+    if value is NULL or isinstance(value, (VMObject, VMArray)):
+        return "ref"
+    if isinstance(value, bool):
+        return "int"
+    if isinstance(value, int):
+        return "int"
+    if isinstance(value, float):
+        return "float"
+    if isinstance(value, str):
+        return "str"
+    raise TypeError(f"host value {value!r} is not a legal guest value")

@@ -1,0 +1,397 @@
+"""The virtual machine facade.
+
+A :class:`JVM` bundles the heap, clock, scheduler, interpreter, native
+registry and runtime support into one runnable machine.  The ``mode``
+option selects which system from the paper's evaluation you get:
+
+``"unmodified"``
+    the paper's baseline: stock VM, untransformed bytecode, blocking
+    monitors with prioritized entry queues, no barriers, no revocation.
+
+``"rollback"``
+    the paper's contribution: classes pass through the bytecode
+    transformer at load time (write barriers, rollback scopes, sync-method
+    wrapping) and the revocation runtime is installed.
+
+``"inheritance"`` / ``"ceiling"``
+    the classical avoidance protocols the paper compares against
+    conceptually (§5), implemented in :mod:`repro.core.policies` as
+    further baselines for the extension benchmarks.
+
+Typical use::
+
+    vm = JVM(VMOptions(mode="rollback", seed=7))
+    vm.load(my_classdef)
+    vm.spawn("Bench", "run", args=[0], priority=10, name="high-0")
+    vm.run()
+    print(vm.clock.now, vm.metrics())
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Optional
+
+from repro.errors import (
+    LinkError,
+    UncaughtGuestException,
+    VMStateError,
+)
+from repro.util.rng import DeterministicRng
+from repro.vm import bytecode as bc
+from repro.vm.classfile import ClassDef, FieldDef, MethodDef
+from repro.vm.clock import CostModel, VirtualClock
+from repro.vm.heap import Heap, VMObject
+from repro.vm.interpreter import Interpreter
+from repro.vm.monitors import Monitor
+from repro.vm.native import NativeRegistry
+from repro.vm.scheduler import (
+    BaseScheduler,
+    PriorityScheduler,
+    RoundRobinScheduler,
+)
+from repro.vm.support import NullSupport, RuntimeSupport
+from repro.vm.threads import ThreadState, VMThread
+from repro.vm.tracing import Tracer
+
+MODES = ("unmodified", "rollback", "inheritance", "ceiling")
+
+#: Guest exception classes available on every VM.
+BUILTIN_EXCEPTIONS = (
+    "Throwable",
+    "Exception",
+    "Error",
+    "RuntimeException",
+    "ArithmeticException",
+    "NullPointerException",
+    "ArrayIndexOutOfBoundsException",
+    "NegativeArraySizeException",
+    "IllegalMonitorStateException",
+    "StackOverflowError",
+    "InterruptedException",
+)
+
+
+@dataclass
+class VMOptions:
+    """Configuration of one virtual machine instance."""
+
+    mode: str = "unmodified"
+    scheduler: str = "round-robin"  # or "priority"
+    prioritized_queues: bool = True
+    #: False (default, faithful to the paper's Jikes platform): a release
+    #: wakes the preferred waiter but leaves the monitor free, so runnable
+    #: threads reaching monitorenter first can barge in.  True: direct
+    #: ownership handoff (stronger blocking baseline; abl-handoff bench).
+    direct_handoff: bool = False
+    cost_model: CostModel = field(default_factory=CostModel)
+    seed: int = 0x5EED
+    #: inversion detection: "acquire", "periodic", or "both" (§1: "either at
+    #: lock acquisition, or periodically in the background")
+    detection: str = "acquire"
+    periodic_interval: int = 20_000
+    #: cost-aware revocation (extension; paper §4.2 observes that "if the
+    #: number of write operations within a synchronized section is
+    #: sufficiently large, the overhead of logging and rollbacks may start
+    #: outweighing potential benefit"): deny revocation when more than
+    #: this many undo-log entries would have to be restored.  0 = always
+    #: revoke (the paper's behaviour).
+    max_rollback_entries: int = 0
+    #: livelock guard: after this many consecutive revocations of one
+    #: thread's section, grant it a revocation-free grace window
+    livelock_threshold: int = 3
+    livelock_grace: int = 20_000
+    #: 0 = unlimited; otherwise StarvationError past this many cycles
+    max_cycles: int = 0
+    barrier_elision: bool = True
+    trace: bool = False
+    raise_on_uncaught: bool = True
+    #: raise DeadlockError instead of revoking when a wait-for cycle forms
+    #: (forces rollback mode to behave like the baseline for deadlocks)
+    resolve_deadlocks: bool = True
+
+    def __post_init__(self) -> None:
+        if self.mode not in MODES:
+            raise ValueError(f"mode must be one of {MODES}, got {self.mode!r}")
+        if self.scheduler not in ("round-robin", "priority"):
+            raise ValueError(f"unknown scheduler {self.scheduler!r}")
+        if self.detection not in ("acquire", "periodic", "both"):
+            raise ValueError(f"unknown detection mode {self.detection!r}")
+
+    @property
+    def modified(self) -> bool:
+        """True when the load-time transformer and revocation runtime run."""
+        return self.mode == "rollback"
+
+    def with_(self, **changes) -> "VMOptions":
+        return replace(self, **changes)
+
+
+def _build_support(options: VMOptions) -> RuntimeSupport:
+    if options.mode == "unmodified":
+        return NullSupport()
+    # Imported here: repro.core depends on repro.vm, not vice versa.
+    from repro.core.policies import make_support
+
+    return make_support(options.mode)
+
+
+class JVM:
+    """One virtual machine: load classes, spawn threads, run to quiescence."""
+
+    def __init__(self, options: Optional[VMOptions] = None, **kwargs):
+        if options is None:
+            options = VMOptions(**kwargs)
+        elif kwargs:
+            options = options.with_(**kwargs)
+        self.options = options
+        self.cost_model = options.cost_model
+        self.clock = VirtualClock()
+        self.heap = Heap()
+        self.natives = NativeRegistry()
+        self.tracer = Tracer(enabled=options.trace)
+        self.rng = DeterministicRng(options.seed)
+        self.classes: dict[str, ClassDef] = {}
+        self.threads: list[VMThread] = []
+        self.current_thread: Optional[VMThread] = None
+        self.uncaught: list[tuple[VMThread, Any]] = []
+        self.support: RuntimeSupport = _build_support(options)
+        self.support.attach(self)
+        self.interpreter = Interpreter(self)
+        self.scheduler: BaseScheduler = (
+            PriorityScheduler(self)
+            if options.scheduler == "priority"
+            else RoundRobinScheduler(self)
+        )
+        self._next_tid = 0
+        self._ran = False
+        self._next_periodic_scan = options.periodic_interval
+        self._elision_done = False
+        for name in BUILTIN_EXCEPTIONS:
+            self._load_linked(
+                ClassDef(name, fields=[FieldDef("message", "str")])
+            )
+
+    # ------------------------------------------------------------- loading
+    def load(self, classdef: ClassDef) -> ClassDef:
+        """Load a class: transform (modified VM), verify, link, register."""
+        if classdef.name in self.classes:
+            raise LinkError(f"class {classdef.name!r} already loaded")
+        # Always copy: the same ClassDef is routinely loaded into several
+        # VMs (modified vs unmodified comparison runs) and both the
+        # transformer and the linker mutate instructions.
+        classdef = classdef.copy()
+        if self.options.modified:
+            from repro.core.transform import transform_class
+
+            classdef = transform_class(classdef)
+        return self._load_linked(classdef)
+
+    def _load_linked(self, classdef: ClassDef) -> ClassDef:
+        classdef.verify()
+        for method in classdef.methods.values():
+            self._link_method(method)
+        self.classes[classdef.name] = classdef
+        self.heap.register_class(classdef)
+        return classdef
+
+    def _link_method(self, method: MethodDef) -> None:
+        """Assign instruction costs and mark yield points.
+
+        Yield points go on loop back-edges and method invocations,
+        mirroring where the Jikes RVM compilers insert them (footnote 4).
+        """
+        cm = self.cost_model
+        for pc, ins in enumerate(method.code):
+            ins.cost = cm.instruction_cost(ins.op)
+            if ins.op == bc.INVOKE:
+                callee = ins.a[1] if isinstance(ins.a, tuple) else ""
+                if callee.endswith("$impl"):
+                    # The paper inlines the renamed original method into its
+                    # wrapper; no invoke cost, no prologue yield point.
+                    ins.cost = 0
+                    ins.ypoint = False
+                else:
+                    ins.ypoint = True
+            elif bc.is_branch(ins.op) and isinstance(ins.a, int):
+                ins.ypoint = ins.a <= pc
+
+    # ------------------------------------------------------------ resolution
+    def classdef(self, name: str) -> ClassDef:
+        try:
+            return self.classes[name]
+        except KeyError:
+            raise LinkError(f"class {name!r} not loaded") from None
+
+    def resolve_method(self, class_name: str, method_name: str) -> MethodDef:
+        return self.classdef(class_name).method(method_name)
+
+    def resolve_native(self, name: str):
+        return self.natives.resolve(name)
+
+    def register_native(self, name: str, fn) -> None:
+        self.natives.register(name, fn)
+
+    @property
+    def console(self) -> list[str]:
+        return self.natives.console
+
+    # -------------------------------------------------------------- threads
+    def spawn(
+        self,
+        class_name: str,
+        method_name: str,
+        args: list | tuple = (),
+        *,
+        priority: int = 5,
+        name: Optional[str] = None,
+    ) -> VMThread:
+        """Create and start a guest thread running ``class.method(args)``."""
+        if self._ran:
+            raise VMStateError("cannot spawn threads after run() completed")
+        method = self.resolve_method(class_name, method_name)
+        if method.argc != len(args):
+            raise LinkError(
+                f"{method.qualified_name()} takes {method.argc} args, "
+                f"got {len(args)}"
+            )
+        tid = self._next_tid
+        self._next_tid += 1
+        thread = VMThread(
+            tid,
+            name or f"thread-{tid}",
+            method,
+            list(args),
+            priority=priority,
+            rng=self.rng.spawn("thread", tid),
+        )
+        self.threads.append(thread)
+        thread.start()
+        self.scheduler.make_ready(thread)
+        self.trace("spawn", thread, priority=priority)
+        return thread
+
+    # ------------------------------------------------------------------ run
+    def run(self) -> "JVM":
+        """Drive every spawned thread to termination."""
+        if self._ran:
+            raise VMStateError("run() already completed for this VM")
+        if self.options.modified and self.options.barrier_elision:
+            self._run_barrier_elision()
+        self.scheduler.run()
+        self._ran = True
+        if self.uncaught and self.options.raise_on_uncaught:
+            thread, exc = self.uncaught[0]
+            raise UncaughtGuestException(
+                thread.name,
+                exc.classdef.name,
+                str(exc.fields.get("message", "")),
+            )
+        return self
+
+    def _run_barrier_elision(self) -> None:
+        if self._elision_done:
+            return
+        from repro.core.transform import elide_barriers
+
+        elide_barriers(self.classes.values())
+        self._elision_done = True
+
+    def after_slice(self) -> None:
+        """Scheduler callback after every execution slice."""
+        if self.options.detection in ("periodic", "both"):
+            if self.clock.now >= self._next_periodic_scan:
+                self.support.periodic_scan()
+                self._next_periodic_scan = (
+                    self.clock.now + self.options.periodic_interval
+                )
+
+    # ------------------------------------------------------------- services
+    def charge(self, thread: Optional[VMThread], cycles: int) -> None:
+        """Advance virtual time for runtime work done on a thread's behalf."""
+        self.clock.advance(cycles)
+        if thread is not None:
+            thread.cycles_executed += cycles
+            thread.quantum_used += cycles
+
+    def make_guest_exception(self, class_name: str, message: str) -> VMObject:
+        try:
+            classdef = self.classdef(class_name)
+        except LinkError:
+            classdef = self.classdef("RuntimeException")
+        obj = self.heap.allocate(classdef)
+        if "message" in obj.fields:
+            obj.fields["message"] = message
+        return obj
+
+    def record_uncaught(self, thread: VMThread, exc: VMObject) -> None:
+        self.uncaught.append((thread, exc))
+        self.trace("uncaught", thread, exc=exc.classdef.name)
+
+    def trace(self, kind: str, thread: Optional[VMThread], **details) -> None:
+        if not self.tracer.enabled:
+            return
+        clean = {}
+        for k, v in details.items():
+            if isinstance(v, VMThread):
+                clean[k] = v.name
+            elif isinstance(v, Monitor):
+                clean[k] = repr(v.obj)
+            else:
+                clean[k] = v
+        self.tracer.record(
+            self.clock.now, kind, thread.name if thread else None, **clean
+        )
+
+    # ------------------------------------------------------------ host access
+    def new_object(self, class_name: str) -> VMObject:
+        """Host-side allocation (for wiring up thread arguments)."""
+        return self.heap.allocate(self.classdef(class_name))
+
+    def new_array(self, length: int, fill: Any = 0):
+        return self.heap.allocate_array(length, fill)
+
+    def get_static(self, class_name: str, field_name: str) -> Any:
+        return self.heap.get_static((class_name, field_name))
+
+    def set_static(self, class_name: str, field_name: str, value: Any) -> None:
+        self.heap.put_static((class_name, field_name), value)
+
+    def thread_named(self, name: str) -> VMThread:
+        for t in self.threads:
+            if t.name == name:
+                return t
+        raise VMStateError(f"no thread named {name!r}")
+
+    # -------------------------------------------------------------- metrics
+    def metrics(self) -> dict[str, Any]:
+        """Aggregate execution metrics (both VMs report the same schema)."""
+        per_thread = {}
+        for t in self.threads:
+            per_thread[t.name] = {
+                "priority": t.priority,
+                "state": t.state.value,
+                "start_time": t.start_time,
+                "end_time": t.end_time,
+                "cycles_executed": t.cycles_executed,
+                "instructions": t.instructions_executed,
+                "blocked_cycles": t.blocked_cycles,
+                "revocations": t.revocations,
+            }
+        support_metrics = {}
+        collect = getattr(self.support, "collect_metrics", None)
+        if callable(collect):
+            support_metrics = collect()
+        return {
+            "mode": self.options.mode,
+            "elapsed_cycles": self.clock.now,
+            "context_switches": self.scheduler.context_switches,
+            "slices": self.scheduler.slices,
+            "threads": per_thread,
+            "support": support_metrics,
+        }
+
+    def all_terminated(self) -> bool:
+        return all(
+            t.state is ThreadState.TERMINATED for t in self.threads
+        )

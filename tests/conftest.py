@@ -1,0 +1,81 @@
+"""Shared test helpers.
+
+The dominant pattern: build a tiny guest class with static fields and one
+or more methods, spawn threads, run the VM, and assert on statics, traces
+and metrics.  ``make_vm``/``run_single`` wrap that wiring.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+import pytest
+
+from repro import Asm, ClassDef, FieldDef, JVM, VMOptions
+
+
+def make_vm(mode: str = "unmodified", **options) -> JVM:
+    options.setdefault("trace", True)
+    options.setdefault("max_cycles", 50_000_000)
+    return JVM(VMOptions(mode=mode, **options))
+
+
+def static_fields(*specs: str) -> list[FieldDef]:
+    """Parse ``"name:kind[:volatile]"`` field specs (static fields)."""
+    fields = []
+    for spec in specs:
+        parts = spec.split(":")
+        name = parts[0]
+        kind = parts[1] if len(parts) > 1 else "int"
+        volatile = len(parts) > 2 and parts[2] == "volatile"
+        fields.append(
+            FieldDef(name, kind, volatile=volatile, is_static=True)
+        )
+    return fields
+
+
+def build_class(
+    name: str,
+    fields: Iterable[str] = (),
+    methods: Iterable[Asm] = (),
+) -> ClassDef:
+    cls = ClassDef(name, fields=static_fields(*fields))
+    for asm in methods:
+        cls.add_method(asm.build())
+    return cls
+
+
+def run_single(
+    emit: Callable[[Asm], None],
+    *,
+    mode: str = "unmodified",
+    fields: Iterable[str] = (),
+    args: list | tuple = (),
+    argc: int = 0,
+    priority: int = 5,
+    **vm_options,
+) -> JVM:
+    """Build one method from ``emit``, run it in one thread, return the VM.
+
+    ``emit`` receives the :class:`Asm` and must NOT emit the final
+    ``ret()`` (added automatically).
+    """
+    asm = Asm("main", argc=argc)
+    emit(asm)
+    asm.ret()
+    cls = build_class("T", fields, [asm])
+    vm = make_vm(mode, **vm_options)
+    vm.load(cls)
+    vm.spawn("T", "main", args=list(args), priority=priority, name="main")
+    vm.run()
+    return vm
+
+
+@pytest.fixture
+def vm() -> JVM:
+    return make_vm()
+
+
+@pytest.fixture
+def rollback_vm() -> JVM:
+    return make_vm("rollback")

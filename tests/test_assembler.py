@@ -1,0 +1,215 @@
+"""Unit tests for the structured assembler."""
+
+import pytest
+
+from repro.errors import VerifyError
+from repro.vm import bytecode as bc
+from repro.vm.assembler import Asm
+from repro.vm.classfile import ROLLBACK_TYPE
+
+
+def ops(method):
+    return [ins.op for ins in method.code]
+
+
+class TestBasics:
+    def test_simple_sequence(self):
+        a = Asm("m")
+        a.const(1).const(2).add().pop().ret()
+        m = a.build()
+        assert ops(m) == [bc.CONST, bc.CONST, bc.ADD, bc.POP, bc.RETURN]
+
+    def test_locals_allocation(self):
+        a = Asm("m", argc=2)
+        x = a.local()
+        y = a.local()
+        assert (x, y) == (2, 3)
+        a.ret()
+        assert a.build().max_locals == 4
+
+    def test_arg_accessor_bounds(self):
+        a = Asm("m", argc=1)
+        assert a.arg(0) == 0
+        with pytest.raises(VerifyError):
+            a.arg(1)
+
+    def test_build_twice_rejected(self):
+        a = Asm("m")
+        a.ret()
+        a.build()
+        with pytest.raises(VerifyError, match="twice"):
+            a.build()
+
+    def test_returns_value_flag(self):
+        a = Asm("m", returns_value=True)
+        a.const(7).ret()
+        assert a.build().code[-1].a == 1
+
+
+class TestLabels:
+    def test_forward_and_backward_resolution(self):
+        a = Asm("m")
+        top = a.label("top")
+        end = a.label("end")
+        a.place(top)
+        a.const(1).if_(end)
+        a.goto(top)
+        a.place(end)
+        a.ret()
+        m = a.build()
+        assert m.code[1].a == 3  # if -> end (the ret)
+        assert m.code[2].a == 0  # goto -> top
+
+    def test_unplaced_label_rejected(self):
+        a = Asm("m")
+        a.goto(a.label("nowhere"))
+        a.ret()
+        with pytest.raises(VerifyError, match="unplaced"):
+            a.build()
+
+    def test_double_placement_rejected(self):
+        a = Asm("m")
+        lab = a.label()
+        a.place(lab)
+        with pytest.raises(VerifyError, match="twice"):
+            a.place(lab)
+
+
+class TestSyncBlock:
+    def test_javac_shape(self):
+        """sync() must emit the exact javac pattern: cache ref in a temp,
+        enter, body, exit, goto end, and a catch-all release handler."""
+        a = Asm("m")
+        a.const(0)  # stand-in monitor ref for shape inspection
+        with a.sync():
+            a.const(42).pop()
+        a.ret()
+        m = a.build()
+        assert ops(m) == [
+            bc.CONST,            # monitor ref
+            bc.STORE,            # cache in tmp
+            bc.LOAD,
+            bc.MONITORENTER,
+            bc.CONST, bc.POP,    # body
+            bc.LOAD,
+            bc.MONITOREXIT,
+            bc.GOTO,
+            bc.LOAD,             # handler: reload tmp
+            bc.MONITOREXIT,
+            bc.ATHROW,
+            bc.RETURN,
+        ]
+        # catch-all entry covering exactly the body
+        [entry] = m.exc_table
+        assert entry.type is None
+        assert entry.start == 4 and entry.end == 6
+        assert entry.handler == 9
+
+    def test_sync_ids_unique_and_paired(self):
+        a = Asm("m")
+        a.const(0)
+        with a.sync() as outer_id:
+            a.const(0)
+            with a.sync() as inner_id:
+                a.pop()  # discard something? no—body must balance; push first
+        a.ret()
+        m = a.build()
+        assert outer_id != inner_id
+        enters = [ins.a for ins in m.code if ins.op == bc.MONITORENTER]
+        exits = [ins.a for ins in m.code if ins.op == bc.MONITOREXIT]
+        assert sorted(set(enters)) == sorted({outer_id, inner_id})
+        # each sync id: 1 enter, 2 exits (normal + exceptional release)
+        for sid in (outer_id, inner_id):
+            assert enters.count(sid) == 1
+            assert exits.count(sid) == 2
+
+    def test_exception_entries_innermost_first(self):
+        a = Asm("m")
+        a.const(0)
+        with a.sync():
+            a.const(0)
+            with a.sync():
+                a.nop() if hasattr(a, "nop") else a.const(0).pop()
+        a.ret()
+        m = a.build()
+        inner, outer = m.exc_table
+        assert inner.start >= outer.start
+
+
+class TestControlHelpers:
+    def test_while_loop_backedge(self):
+        a = Asm("m")
+        i = a.local()
+        a.const(0).store(i)
+        a.while_(
+            lambda: a.load(i).const(3).lt(),
+            lambda: a.iinc(i, 1),
+        )
+        a.ret()
+        m = a.build()
+        gotos = [ins for ins in m.code if ins.op == bc.GOTO]
+        assert any(g.a <= m.code.index(g) for g in gotos)  # a back-edge
+
+    def test_for_range_evaluates_count_once(self):
+        a = Asm("m")
+        i = a.local()
+        a.for_range(i, lambda: a.const(5), lambda: a.const(0).pop())
+        a.ret()
+        m = a.build()
+        consts = [ins for ins in m.code if ins.op == bc.CONST and ins.a == 5]
+        assert len(consts) == 1
+
+    def test_if_then_without_else(self):
+        a = Asm("m")
+        a.if_then(lambda: a.const(1), lambda: a.const(2).pop())
+        a.ret()
+        m = a.build()
+        assert bc.IFNOT in ops(m)
+        assert ops(m).count(bc.GOTO) == 0
+
+    def test_if_then_else_has_goto_over_else(self):
+        a = Asm("m")
+        a.if_then(
+            lambda: a.const(1),
+            lambda: a.const(2).pop(),
+            lambda: a.const(3).pop(),
+        )
+        a.ret()
+        assert ops(a.build()).count(bc.GOTO) == 1
+
+
+class TestTryCatch:
+    def test_typed_catch_entry(self):
+        a = Asm("m")
+        a.try_(
+            body=lambda: a.const(1).pop(),
+            catches=[("ArithmeticException", lambda: a.pop())],
+        )
+        a.ret()
+        m = a.build()
+        [entry] = m.exc_table
+        assert entry.type == "ArithmeticException"
+
+    def test_finally_adds_catch_all_and_duplicates_body(self):
+        a = Asm("m")
+        a.try_(
+            body=lambda: a.const(1).pop(),
+            catches=[("E", lambda: a.pop())],
+            finally_=lambda: a.const(99).pop(),
+        )
+        a.ret()
+        m = a.build()
+        types = [e.type for e in m.exc_table]
+        assert types == ["E", None]
+        # finally body appears 3x: after try, after catch, in rethrow path
+        assert sum(
+            1 for ins in m.code if ins.op == bc.CONST and ins.a == 99
+        ) == 3
+
+    def test_rollback_type_never_emitted_by_user_code(self):
+        a = Asm("m")
+        a.const(0)
+        with a.sync():
+            a.try_(lambda: a.const(0).pop(), [("E", lambda: a.pop())])
+        a.ret()
+        assert all(e.type != ROLLBACK_TYPE for e in a.build().exc_table)

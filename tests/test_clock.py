@@ -1,0 +1,87 @@
+"""Unit tests for virtual time and the cost model."""
+
+import pytest
+
+from repro.vm import bytecode as bc
+from repro.vm.clock import CostModel, VirtualClock
+
+
+class TestVirtualClock:
+    def test_starts_at_zero(self):
+        assert VirtualClock().now == 0
+
+    def test_advance_accumulates(self):
+        c = VirtualClock()
+        c.advance(10)
+        c.advance(5)
+        assert c.now == 15
+
+    def test_advance_negative_rejected(self):
+        with pytest.raises(ValueError):
+            VirtualClock().advance(-1)
+
+    def test_advance_to_forward_only(self):
+        c = VirtualClock()
+        c.advance(100)
+        c.advance_to(50)   # no-op: never backwards
+        assert c.now == 100
+        c.advance_to(200)
+        assert c.now == 200
+
+    def test_event_fingerprint(self):
+        c = VirtualClock()
+        c.advance(1)
+        c.advance(0)
+        assert c.events == 2
+
+
+class TestCostModel:
+    def test_defaults_ordering(self):
+        """Sanity on the cost hierarchy the figures depend on."""
+        cm = CostModel()
+        assert cm.simple < cm.heap_access < cm.monitor_fast
+        assert cm.barrier_fast < cm.barrier_slow
+        assert cm.monitor_fast < cm.monitor_slow
+        assert cm.rollback_base > cm.monitor_slow
+        assert cm.quantum > cm.context_switch
+
+    @pytest.mark.parametrize("op,field", [
+        (bc.ADD, "simple"),
+        (bc.LOAD, "simple"),
+        (bc.GETFIELD, "heap_access"),
+        (bc.PUTSTATIC, "heap_access"),
+        (bc.ASTORE, "heap_access"),
+        (bc.NEW, "allocation"),
+        (bc.NEWARRAY, "allocation"),
+        (bc.MONITORENTER, "monitor_fast"),
+        (bc.MONITOREXIT, "monitor_fast"),
+        (bc.INVOKE, "invoke"),
+        (bc.NATIVE, "native"),
+        (bc.WAIT, "thread_op"),
+        (bc.NOTIFY, "thread_op"),
+        (bc.SAVESTATE, "savestate_base"),
+    ])
+    def test_instruction_costs(self, op, field):
+        cm = CostModel()
+        assert cm.instruction_cost(op) == getattr(cm, field)
+
+    @pytest.mark.parametrize("op", [
+        bc.DEBUG, bc.NOP, bc.ROLLBACK_HANDLER, bc.RESTORESTATE,
+    ])
+    def test_free_instructions(self, op):
+        assert CostModel().instruction_cost(op) == 0
+
+    def test_scaled_preserves_quantum(self):
+        cm = CostModel()
+        doubled = cm.scaled(2.0)
+        assert doubled.simple == 2 * cm.simple
+        assert doubled.heap_access == 2 * cm.heap_access
+        assert doubled.quantum == cm.quantum
+
+    def test_scaled_rounds_not_truncates(self):
+        cm = CostModel(simple=3)
+        assert cm.scaled(0.5).simple == 2  # round(1.5) banker's = 2
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            CostModel().simple = 5

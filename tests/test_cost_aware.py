@@ -1,0 +1,60 @@
+"""Tests for the cost-aware revocation extension (§4.2 observation:
+rollback cost can outweigh the benefit for write-heavy sections)."""
+
+from repro import Asm
+
+from conftest import build_class, make_vm
+
+
+def scenario(vm, *, low_iters=2_000):
+    """Deterministic inversion with a write-heavy low section."""
+    run = Asm("run", argc=2)  # (iters, delay)
+    run.load(1).sleep()
+    run.getstatic("T", "lock")
+    with run.sync():
+        i = run.local()
+        run.for_range(i, lambda: run.load(0), lambda: (
+            run.getstatic("T", "counter"), run.const(1), run.add(),
+            run.putstatic("T", "counter"),
+        ))
+    run.ret()
+    cls = build_class("T", ["lock:ref", "counter:int"], [run])
+    vm.load(cls)
+    vm.set_static("T", "lock", vm.new_object("T"))
+    vm.spawn("T", "run", args=[low_iters, 1], priority=1, name="low")
+    vm.spawn("T", "run", args=[50, 9_000], priority=10, name="high")
+    vm.run()
+    return vm
+
+
+class TestCostAwareRevocation:
+    def test_unlimited_by_default(self):
+        vm = scenario(make_vm("rollback"))
+        s = vm.metrics()["support"]
+        assert s["revocations_completed"] >= 1
+        assert s["revocations_denied_cost"] == 0
+
+    def test_tight_budget_denies_revocation(self):
+        """With a budget far below the section's write count, the high
+        thread falls back to classic blocking — and state stays exact."""
+        vm = scenario(make_vm("rollback", max_rollback_entries=10))
+        s = vm.metrics()["support"]
+        assert s["revocations_completed"] == 0
+        assert s["revocations_denied_cost"] >= 1
+        assert vm.get_static("T", "counter") == 2_050
+
+    def test_generous_budget_allows_revocation(self):
+        vm = scenario(make_vm("rollback", max_rollback_entries=1_000_000))
+        assert vm.metrics()["support"]["revocations_completed"] >= 1
+
+    def test_budget_bounds_restored_entries(self):
+        """Whenever a revocation does happen under a budget, the restored
+        count respects it."""
+        vm = scenario(
+            make_vm("rollback", max_rollback_entries=1_500),
+            low_iters=2_000,
+        )
+        s = vm.metrics()["support"]
+        if s["revocations_completed"]:
+            assert s["undo_entries_restored"] <= 1_500 * \
+                s["revocations_completed"]

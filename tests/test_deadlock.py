@@ -1,0 +1,177 @@
+"""Deadlock detection/resolution tests (paper §1)."""
+
+import pytest
+
+from repro import Asm, DeadlockError
+
+from conftest import build_class, make_vm
+from repro.bench.workloads import build_bank, build_deadlock_pair, \
+    build_deadlock_ring
+from repro.vm.scheduler import find_wait_cycle
+from repro.vm.threads import ThreadState
+
+
+class TestWaitCycleDetection:
+    def test_no_cycle_in_running_threads(self):
+        assert find_wait_cycle([]) is None
+
+    def test_two_cycle_found(self):
+        workload = build_deadlock_pair()
+        vm = make_vm("unmodified")
+        workload.install(vm)
+        with pytest.raises(DeadlockError) as exc_info:
+            vm.run()
+        assert set(exc_info.value.cycle) == {"t1", "t2"}
+
+    def test_ring_cycle_found(self):
+        workload = build_deadlock_ring(5, hold_cycles=3_000)
+        vm = make_vm("unmodified")
+        workload.install(vm)
+        # equal-ish priorities still deadlock on the baseline VM
+        with pytest.raises(DeadlockError) as exc_info:
+            vm.run()
+        assert len(exc_info.value.cycle) >= 2
+
+
+class TestResolutionByRevocation:
+    def test_pair_resolved(self):
+        workload = build_deadlock_pair(work=80)
+        vm = make_vm("rollback")
+        workload.install(vm)
+        vm.run()
+        assert vm.get_static("DeadlockPair", "counter") == 160
+        s = vm.metrics()["support"]
+        assert s["deadlocks_resolved"] >= 1
+        assert s["revocations_completed"] >= 1
+
+    def test_ring_resolved(self):
+        workload = build_deadlock_ring(4, work=60)
+        vm = make_vm("rollback")
+        workload.install(vm)
+        vm.run()
+        assert vm.get_static("DeadlockRing", "counter") == 4 * 60
+        assert vm.all_terminated()
+
+    def test_resolution_disabled_raises(self):
+        workload = build_deadlock_pair()
+        vm = make_vm("rollback", resolve_deadlocks=False)
+        workload.install(vm)
+        with pytest.raises(DeadlockError):
+            vm.run()
+
+    def test_victim_is_lowest_priority(self):
+        """Symmetric deadlock with unequal priorities: the low-priority
+        member is revoked."""
+        run = Asm("run", argc=2)  # (first, second)
+        run.getstatic("T", "locks").load(0).aload()
+        with run.sync():
+            run.const(3_000).sleep()
+            run.getstatic("T", "locks").load(1).aload()
+            with run.sync():
+                run.const(0).pop()
+        run.ret()
+        cls = build_class("T", ["locks:ref"], [run])
+        vm = make_vm("rollback")
+        vm.load(cls)
+        locks = vm.new_array(2)
+        locks.put(0, vm.new_object("T"))
+        locks.put(1, vm.new_object("T"))
+        vm.set_static("T", "locks", locks)
+        vm.spawn("T", "run", args=[0, 1], priority=2, name="loser")
+        vm.spawn("T", "run", args=[1, 0], priority=9, name="winner")
+        vm.run()
+        assert vm.thread_named("loser").revocations >= 1
+        assert vm.thread_named("winner").revocations == 0
+
+    def test_nonrevocable_victims_fail_resolution(self):
+        """When every cycle member's section is pinned (native call), the
+        deadlock is unresolvable and the VM reports it."""
+        run = Asm("run", argc=2)
+        run.getstatic("T", "locks").load(0).aload()
+        with run.sync():
+            run.const("pinned").native("println", 1)  # -> non-revocable
+            run.const(3_000).sleep()
+            run.getstatic("T", "locks").load(1).aload()
+            with run.sync():
+                run.const(0).pop()
+        run.ret()
+        cls = build_class("T", ["locks:ref"], [run])
+        vm = make_vm("rollback")
+        vm.load(cls)
+        locks = vm.new_array(2)
+        locks.put(0, vm.new_object("T"))
+        locks.put(1, vm.new_object("T"))
+        vm.set_static("T", "locks", locks)
+        vm.spawn("T", "run", args=[0, 1], priority=5, name="a")
+        vm.spawn("T", "run", args=[1, 0], priority=5, name="b")
+        with pytest.raises(DeadlockError):
+            vm.run()
+
+    def test_repeated_deadlocks_rotate_victims(self):
+        """The anti-livelock rotation prefers the least-recently revoked
+        candidate among equals, so no single thread is always the loser."""
+        workload = build_deadlock_ring(3, hold_cycles=2_000, work=40)
+        vm = make_vm("rollback")
+        # make all priorities equal so selection falls to the rotation key
+        workload_spawns = [
+            (m, a, 5, n) for (m, a, _p, n) in workload.spawns
+        ]
+        vm.load(workload.classdef)
+        workload.setup(vm)
+        for method, args, priority, name in workload_spawns:
+            vm.spawn("DeadlockRing", method, args=args,
+                     priority=priority, name=name)
+        vm.run()
+        assert vm.all_terminated()
+
+
+class TestBankWorkload:
+    def test_balance_conserved_under_revocations(self):
+        """Random unordered two-lock transfers: whatever deadlocks and
+        revocations happen, the total balance is conserved."""
+        workload = build_bank(accounts=6, transfers=30)
+        vm = make_vm("rollback", seed=77)
+        workload.install(vm)
+        vm.run()
+        balances = vm.get_static("Bank", "balances").snapshot()
+        assert sum(balances) == 6 * 100
+        assert vm.all_terminated()
+
+    def test_bank_on_unmodified_vm_may_deadlock(self):
+        """Document the baseline behaviour: with these seeds the unordered
+        acquisition does deadlock (if it ever stops doing so, the workload
+        lost its teeth — tighten it)."""
+        deadlocked = 0
+        for seed in range(6):
+            workload = build_bank(accounts=4, transfers=40)
+            vm = make_vm("unmodified", seed=seed)
+            workload.install(vm)
+            try:
+                vm.run()
+            except DeadlockError:
+                deadlocked += 1
+        assert deadlocked >= 1
+
+    def test_bank_rollback_mode_always_completes(self):
+        for seed in range(6):
+            workload = build_bank(accounts=4, transfers=40)
+            vm = make_vm("rollback", seed=seed)
+            workload.install(vm)
+            vm.run()
+            balances = vm.get_static("Bank", "balances").snapshot()
+            assert sum(balances) == 400, f"seed {seed} lost money"
+
+
+class TestThreadStatesAfterResolution:
+    def test_no_thread_left_blocked(self):
+        workload = build_deadlock_pair()
+        vm = make_vm("rollback")
+        workload.install(vm)
+        vm.run()
+        for t in vm.threads:
+            assert t.state is ThreadState.TERMINATED
+        # and no monitor is still held
+        locks = vm.get_static("DeadlockPair", "locks")
+        for k in range(2):
+            mon = locks.get(k).monitor
+            assert mon is None or mon.owner is None

@@ -1,0 +1,228 @@
+"""Detection tests (paper §4 and §1): at-acquisition vs periodic
+background detection, request subsumption, the livelock guard, and
+revocation of off-CPU holders."""
+
+from repro import Asm
+
+from conftest import build_class, make_vm
+
+
+def scenario(vm, *, low_iters=2_000, high_delay=4_000, high_iters=50):
+    """Deterministic inversion: low enters at ~0, high arrives mid-section."""
+    run = Asm("run", argc=2)  # (iters, delay)
+    run.load(1).sleep()
+    run.getstatic("T", "lock")
+    with run.sync():
+        i = run.local()
+        run.for_range(i, lambda: run.load(0), lambda: (
+            run.getstatic("T", "counter"), run.const(1), run.add(),
+            run.putstatic("T", "counter"),
+        ))
+    run.ret()
+    cls = build_class("T", ["lock:ref", "counter:int"], [run])
+    vm.load(cls)
+    vm.set_static("T", "lock", vm.new_object("T"))
+    vm.spawn("T", "run", args=[low_iters, 1], priority=1, name="low")
+    vm.spawn("T", "run", args=[high_iters, high_delay], priority=10,
+             name="high")
+    vm.run()
+    return vm
+
+
+class TestAtAcquireDetection:
+    def test_detects_on_contended_acquire(self):
+        vm = scenario(make_vm("rollback", detection="acquire"))
+        s = vm.metrics()["support"]
+        assert s["inversions_detected"] == 1
+        assert s["revocations_completed"] == 1
+
+    def test_no_detection_without_priority_gap(self):
+        """Equal priorities: never an inversion, never a revocation."""
+        run = Asm("run", argc=2)
+        run.load(1).sleep()
+        run.getstatic("T", "lock")
+        with run.sync():
+            i = run.local()
+            run.for_range(i, lambda: run.load(0), lambda: (
+                run.getstatic("T", "counter"), run.const(1), run.add(),
+                run.putstatic("T", "counter"),
+            ))
+        run.ret()
+        cls = build_class("T", ["lock:ref", "counter:int"], [run])
+        vm = make_vm("rollback")
+        vm.load(cls)
+        vm.set_static("T", "lock", vm.new_object("T"))
+        vm.spawn("T", "run", args=[2_000, 1], priority=5, name="a")
+        vm.spawn("T", "run", args=[50, 4_000], priority=5, name="b")
+        vm.run()
+        s = vm.metrics()["support"]
+        assert s["inversions_detected"] == 0
+        assert s["revocations_completed"] == 0
+
+    def test_low_contender_blocks_normally(self):
+        """A LOW-priority thread arriving at a HIGH-priority holder's
+        section must block, not revoke."""
+        run = Asm("run", argc=2)
+        run.load(1).sleep()
+        run.getstatic("T", "lock")
+        with run.sync():
+            i = run.local()
+            run.for_range(i, lambda: run.load(0), lambda: (
+                run.getstatic("T", "counter"), run.const(1), run.add(),
+                run.putstatic("T", "counter"),
+            ))
+        run.ret()
+        cls = build_class("T", ["lock:ref", "counter:int"], [run])
+        vm = make_vm("rollback")
+        vm.load(cls)
+        vm.set_static("T", "lock", vm.new_object("T"))
+        vm.spawn("T", "run", args=[2_000, 1], priority=10, name="high")
+        vm.spawn("T", "run", args=[50, 4_000], priority=1, name="low")
+        vm.run()
+        assert vm.metrics()["support"]["revocations_completed"] == 0
+        assert vm.get_static("T", "counter") == 2_050
+
+
+class TestPeriodicDetection:
+    def test_periodic_mode_detects_without_acquire_hook(self):
+        vm = scenario(
+            make_vm("rollback", detection="periodic",
+                    periodic_interval=2_000)
+        )
+        s = vm.metrics()["support"]
+        assert s["revocations_completed"] >= 1
+        assert vm.get_static("T", "counter") == 2_050
+
+    def test_periodic_interval_limits_scan_frequency(self):
+        """With an interval longer than the whole run, the background scan
+        never fires and no inversion is resolved."""
+        vm = scenario(
+            make_vm("rollback", detection="periodic",
+                    periodic_interval=10_000_000)
+        )
+        assert vm.metrics()["support"]["revocations_completed"] == 0
+        assert vm.get_static("T", "counter") == 2_050  # still correct
+
+    def test_both_mode(self):
+        vm = scenario(make_vm("rollback", detection="both"))
+        assert vm.metrics()["support"]["revocations_completed"] >= 1
+
+
+class TestRequestSubsumption:
+    def test_outer_target_replaces_inner(self):
+        """Nested sections on distinct monitors, contenders for both: the
+        pending request must end up naming the outermost target (rolling
+        back outer subsumes inner)."""
+        low = Asm("low", argc=0)
+        low.getstatic("T", "outer")
+        with low.sync():
+            low.getstatic("T", "inner")
+            with low.sync():
+                i = low.local()
+                low.for_range(i, lambda: low.const(3_000), lambda: (
+                    low.getstatic("T", "counter"), low.const(1), low.add(),
+                    low.putstatic("T", "counter"),
+                ))
+        low.ret()
+
+        grab = Asm("grab", argc=2)  # (which, delay): 0=inner, 1=outer
+        grab.load(1).sleep()
+        grab.if_then(
+            lambda: grab.load(0),
+            lambda: grab.getstatic("T", "outer"),
+            lambda: grab.getstatic("T", "inner"),
+        )
+        with grab.sync():
+            grab.const(0).pop()
+        grab.ret()
+
+        cls = build_class(
+            "T", ["outer:ref", "inner:ref", "counter:int"], [low, grab]
+        )
+        vm = make_vm("rollback")
+        vm.load(cls)
+        vm.set_static("T", "outer", vm.new_object("T"))
+        vm.set_static("T", "inner", vm.new_object("T"))
+        vm.spawn("T", "low", priority=1, name="low")
+        # inner contender arrives first, then the outer contender, both
+        # before the low thread's next yield point can honour the first
+        vm.spawn("T", "grab", args=[0, 2_000], priority=8, name="mid")
+        vm.spawn("T", "grab", args=[1, 2_200], priority=10, name="high")
+        vm.run()
+        assert vm.get_static("T", "counter") == 3_000
+        assert vm.metrics()["support"]["revocations_completed"] >= 1
+        # the completed rollback's target was the OUTER section: after it,
+        # both monitors were released before re-execution
+        rollback_releases = vm.tracer.of_kind("rollback_release")
+        assert len(rollback_releases) >= 2  # inner + outer in one unwind
+
+
+class TestLivelockGuard:
+    def test_grace_after_repeated_revocations(self):
+        """With threshold 1, the second inversion within the grace window
+        is denied and the contender blocks classically."""
+        run = Asm("run", argc=2)
+        run.load(1).sleep()
+        run.getstatic("T", "lock")
+        with run.sync():
+            i = run.local()
+            run.for_range(i, lambda: run.load(0), lambda: (
+                run.getstatic("T", "counter"), run.const(1), run.add(),
+                run.putstatic("T", "counter"),
+            ))
+        run.ret()
+        cls = build_class("T", ["lock:ref", "counter:int"], [run])
+        vm = make_vm(
+            "rollback", livelock_threshold=1, livelock_grace=10_000_000
+        )
+        vm.load(cls)
+        vm.set_static("T", "lock", vm.new_object("T"))
+        vm.spawn("T", "run", args=[4_000, 1], priority=1, name="low")
+        vm.spawn("T", "run", args=[50, 4_000], priority=10, name="h1")
+        vm.spawn("T", "run", args=[50, 30_000], priority=10, name="h2")
+        vm.run()
+        s = vm.metrics()["support"]
+        assert s["revocations_completed"] == 1
+        assert s["revocations_denied_grace"] >= 1
+        assert vm.get_static("T", "counter") == 4_000 + 100
+
+    def test_counter_resets_after_commit(self):
+        """A committed section clears consecutive_revocations."""
+        vm = scenario(make_vm("rollback"))
+        low = vm.thread_named("low")
+        assert low.consecutive_revocations == 0
+        assert low.revocations >= 1
+
+
+class TestOffCpuRevocation:
+    def test_sleeping_holder_is_woken_to_roll_back(self):
+        """A holder sleeping INSIDE its section cannot reach a yield
+        point; detection must wake it so the rollback proceeds."""
+        low = Asm("low", argc=0)
+        low.getstatic("T", "lock")
+        with low.sync():
+            low.const(1).putstatic("T", "counter")
+            low.const(200_000).sleep()  # holds the lock while sleeping
+            low.const(2).putstatic("T", "counter")
+        low.ret()
+
+        high = Asm("high", argc=0)
+        high.const(5_000).sleep()
+        high.getstatic("T", "lock")
+        with high.sync():
+            high.time().putstatic("T", "high_at")
+        high.ret()
+
+        cls = build_class(
+            "T", ["lock:ref", "counter:int", "high_at:int"], [low, high]
+        )
+        vm = make_vm("rollback")
+        vm.load(cls)
+        vm.set_static("T", "lock", vm.new_object("T"))
+        vm.spawn("T", "low", priority=1, name="low")
+        vm.spawn("T", "high", priority=10, name="high")
+        vm.run()
+        assert vm.metrics()["support"]["revocations_completed"] >= 1
+        # the high thread got the lock long before the 200k sleep ended
+        assert vm.get_static("T", "high_at") < 100_000
+        assert vm.get_static("T", "counter") == 2  # low re-ran eventually

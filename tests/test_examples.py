@@ -1,0 +1,31 @@
+"""Every example script must run cleanly end to end (their own asserts
+double as checks)."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+EXAMPLES = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_exist():
+    assert len(EXAMPLES) >= 3, "the repo promises at least three examples"
+    assert "quickstart.py" in EXAMPLES
+
+
+@pytest.mark.parametrize("script", EXAMPLES)
+def test_example_runs(script):
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / script)],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert proc.returncode == 0, (
+        f"{script} failed:\n{proc.stdout}\n{proc.stderr}"
+    )
+    assert proc.stdout.strip(), f"{script} produced no output"

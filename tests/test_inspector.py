@@ -1,0 +1,152 @@
+"""Tests for the slice-stepping Inspector."""
+
+import pytest
+
+from repro import Asm, VMStateError
+from repro.vm.inspector import Inspector
+
+from conftest import build_class, make_vm
+
+
+def counter_vm(mode="rollback"):
+    run = Asm("run", argc=2)  # (iters, delay)
+    run.load(1).sleep()
+    run.getstatic("T", "lock")
+    with run.sync():
+        i = run.local()
+        run.for_range(i, lambda: run.load(0), lambda: (
+            run.getstatic("T", "counter"), run.const(1), run.add(),
+            run.putstatic("T", "counter"),
+        ))
+    run.ret()
+    cls = build_class("T", ["lock:ref", "counter:int"], [run])
+    vm = make_vm(mode, seed=3)
+    vm.load(cls)
+    vm.set_static("T", "lock", vm.new_object("T"))
+    vm.spawn("T", "run", args=[2_000, 1], priority=1, name="low")
+    vm.spawn("T", "run", args=[60, 6_000], priority=10, name="high")
+    return vm
+
+
+class TestStepping:
+    def test_step_slices_progress_virtual_time(self):
+        vm = counter_vm()
+        insp = Inspector(vm)
+        before = vm.clock.now
+        steps = insp.step_slice(3)
+        assert len(steps) == 3
+        assert vm.clock.now > before
+        assert all(reason for _, reason in steps)
+
+    def test_finish_completes_the_run(self):
+        vm = counter_vm()
+        insp = Inspector(vm)
+        insp.step_slice(2)
+        insp.finish()
+        assert insp.finished
+        assert vm.all_terminated()
+        assert vm.get_static("T", "counter") == 2_060
+
+    def test_stepping_equals_plain_run(self):
+        """Slice-stepping must be observationally identical to vm.run()."""
+        stepped = counter_vm()
+        Inspector(stepped).finish()
+        plain = counter_vm()
+        plain.run()
+        assert stepped.clock.now == plain.clock.now
+        assert (
+            stepped.metrics()["support"] == plain.metrics()["support"]
+        )
+
+    def test_run_until_predicate(self):
+        vm = counter_vm()
+        insp = Inspector(vm)
+        ok = insp.run_until(lambda v: v.clock.now > 5_000)
+        assert ok and vm.clock.now > 5_000
+
+    def test_run_until_event_rollback(self):
+        vm = counter_vm()
+        insp = Inspector(vm)
+        assert insp.run_until_event("rollback_begin")
+        low = vm.thread_named("low")
+        assert low.revocations >= 0  # rollback is in flight or just done
+        assert not insp.finished
+        insp.finish()
+        assert vm.metrics()["support"]["revocations_completed"] >= 1
+
+    def test_run_until_event_needs_tracing(self):
+        vm = counter_vm()
+        vm.tracer.enabled = False
+        insp = Inspector(vm)
+        with pytest.raises(VMStateError):
+            insp.run_until_event("spawn")
+
+    def test_run_until_never_satisfied_returns_false(self):
+        vm = counter_vm()
+        insp = Inspector(vm)
+        assert insp.run_until(lambda v: False) is False
+        assert insp.finished
+
+    def test_inspector_rejects_finished_vm(self):
+        vm = counter_vm()
+        vm.run()
+        with pytest.raises(VMStateError):
+            Inspector(vm)
+
+    def test_uncaught_exception_surfaces_on_step(self):
+        from repro import UncaughtGuestException
+
+        boom = Asm("boom", argc=0)
+        boom.throw_new("Error")
+        cls = build_class("B", [], [boom])
+        vm = make_vm()
+        vm.load(cls)
+        vm.spawn("B", "boom", name="b")
+        insp = Inspector(vm)
+        with pytest.raises(UncaughtGuestException):
+            insp.finish()
+
+
+class TestInspection:
+    def test_stack_trace_shows_frames_and_sections(self):
+        vm = counter_vm()
+        insp = Inspector(vm)
+        insp.run_until(
+            lambda v: bool(v.thread_named("low").sections)
+        )
+        text = insp.stack_trace(vm.thread_named("low"))
+        assert "low" in text
+        assert "T.run" in text
+        assert "sections:" in text
+
+    def test_disassemble_around_marks_pc(self):
+        vm = counter_vm()
+        insp = Inspector(vm)
+        insp.step_slice(1)
+        text = insp.disassemble_around(vm.thread_named("low"))
+        assert "->" in text
+
+    def test_locals_and_stack_snapshots(self):
+        vm = counter_vm()
+        insp = Inspector(vm)
+        insp.run_until(
+            lambda v: bool(v.thread_named("low").sections)
+        )
+        low = vm.thread_named("low")
+        locals_ = insp.locals_of(low)
+        assert locals_[0] == 2_000  # the iters argument
+        assert isinstance(insp.operand_stack_of(low), list)
+
+    def test_threads_summary(self):
+        vm = counter_vm()
+        insp = Inspector(vm)
+        insp.step_slice(2)
+        text = insp.threads_summary()
+        assert "low" in text and "high" in text
+
+    def test_disassemble_method(self):
+        vm = counter_vm()
+        insp = Inspector(vm)
+        text = insp.disassemble_method("T", "run")
+        assert "monitorenter" in text
+        assert "savestate" in text  # the transformer ran (rollback mode)

@@ -1,0 +1,267 @@
+"""Interpreter tests: guest exception dispatch (JVM semantics)."""
+
+import pytest
+
+from repro import Asm, UncaughtGuestException
+from repro.vm.classfile import FieldDef
+
+from conftest import build_class, make_vm, run_single
+
+
+def out_of(vm, name="out"):
+    return vm.get_static("T", name)
+
+
+class TestThrowCatch:
+    def test_catch_by_exact_type(self):
+        def emit(a: Asm):
+            a.try_(
+                body=lambda: a.throw_new("E"),
+                catches=[("E", lambda: (a.pop(), a.const(1),
+                                        a.putstatic("T", "out")))],
+            )
+
+        vm = make_vm()
+        vm.load(build_class("E"))
+        asm = Asm("main")
+        emit(asm)
+        asm.ret()
+        vm.load(build_class("T", ["out:int"], [asm]))
+        vm.spawn("T", "main", name="main")
+        vm.run()
+        assert out_of(vm) == 1
+
+    def test_throwable_catches_everything(self):
+        def emit(a: Asm):
+            a.try_(
+                body=lambda: a.const(1).const(0).div().pop(),
+                catches=[("Throwable", lambda: (a.pop(), a.const(7),
+                                                a.putstatic("T", "out")))],
+            )
+
+        assert out_of(run_single(emit, fields=["out:int"])) == 7
+
+    def test_wrong_type_does_not_catch(self):
+        def emit(a: Asm):
+            a.try_(
+                body=lambda: a.const(1).const(0).div().pop(),
+                catches=[("NullPointerException",
+                          lambda: (a.pop(), a.const(7),
+                                   a.putstatic("T", "out")))],
+            )
+
+        with pytest.raises(UncaughtGuestException) as exc_info:
+            run_single(emit, fields=["out:int"])
+        assert exc_info.value.exc_class == "ArithmeticException"
+
+    def test_exception_object_on_stack_in_handler(self):
+        def emit(a: Asm):
+            a.try_(
+                body=lambda: a.const(1).const(0).div().pop(),
+                catches=[("ArithmeticException",
+                          lambda: a.putstatic("T", "out"))],
+            )
+
+        vm = run_single(emit, fields=["out:ref"])
+        exc = out_of(vm)
+        assert exc.classdef.name == "ArithmeticException"
+        assert "zero" in exc.fields["message"]
+
+    def test_operand_stack_cleared_on_catch(self):
+        """JVM spec: the handler starts with only the exception on stack."""
+        def emit(a: Asm):
+            a.const(111)  # junk that must be wiped by the catch
+            a.try_(
+                body=lambda: a.throw_new("RuntimeException"),
+                catches=[("RuntimeException",
+                          lambda: (a.pop(), a.const(5),
+                                   a.putstatic("T", "out")))],
+            )
+            a.pop()  # would fail if the 111 was still there... it IS
+            # below the try in this frame; guard with a sentinel instead:
+
+        # simpler: handler leaves stack empty; storing works; and the
+        # junk 111 is gone, so a dup of the stack depth would break.
+        def emit2(a: Asm):
+            a.const(111)
+            a.try_(
+                body=lambda: a.throw_new("RuntimeException"),
+                catches=[("RuntimeException",
+                          lambda: a.putstatic("T", "out"))],
+            )
+            # stack must now be empty: emit a standalone const/store
+            a.const(9).putstatic("T", "after")
+
+        vm = run_single(emit2, fields=["out:ref", "after:int"])
+        assert out_of(vm).classdef.name == "RuntimeException"
+        assert out_of(vm, "after") == 9
+
+    def test_rethrow_from_handler(self):
+        def emit(a: Asm):
+            a.try_(
+                body=lambda: a.try_(
+                    body=lambda: a.throw_new("E"),
+                    catches=[("E", lambda: a.athrow())],  # rethrow
+                ),
+                catches=[("E", lambda: (a.pop(), a.const(2),
+                                        a.putstatic("T", "out")))],
+            )
+
+        vm = make_vm()
+        vm.load(build_class("E"))
+        asm = Asm("main")
+        emit(asm)
+        asm.ret()
+        vm.load(build_class("T", ["out:int"], [asm]))
+        vm.spawn("T", "main", name="main")
+        vm.run()
+        assert out_of(vm) == 2
+
+
+class TestFinally:
+    def test_finally_runs_on_normal_path(self):
+        def emit(a: Asm):
+            a.try_(
+                body=lambda: a.const(0).pop(),
+                finally_=lambda: a.const(1).putstatic("T", "fin"),
+            )
+
+        assert out_of(run_single(emit, fields=["fin:int"]), "fin") == 1
+
+    def test_finally_runs_on_exception_path_and_rethrows(self):
+        def emit(a: Asm):
+            a.try_(
+                body=lambda: a.try_(
+                    body=lambda: a.const(1).const(0).div().pop(),
+                    finally_=lambda: a.const(1).putstatic("T", "fin"),
+                ),
+                catches=[("ArithmeticException",
+                          lambda: (a.pop(), a.const(1),
+                                   a.putstatic("T", "caught")))],
+            )
+
+        vm = run_single(emit, fields=["fin:int", "caught:int"])
+        assert out_of(vm, "fin") == 1
+        assert out_of(vm, "caught") == 1
+
+    def test_finally_runs_after_catch(self):
+        def emit(a: Asm):
+            a.try_(
+                body=lambda: a.throw_new("RuntimeException"),
+                catches=[("RuntimeException", lambda: a.pop())],
+                finally_=lambda: (
+                    a.getstatic("T", "fin"), a.const(1), a.add(),
+                    a.putstatic("T", "fin"),
+                ),
+            )
+
+        assert out_of(run_single(emit, fields=["fin:int"]), "fin") == 1
+
+
+class TestBuiltinGuestExceptions:
+    @pytest.mark.parametrize("body,exc_class", [
+        (lambda a: a.const(1).const(0).div().pop(), "ArithmeticException"),
+        (lambda a: a.const(1).const(0).mod().pop(), "ArithmeticException"),
+        (lambda a: (a.getstatic("T", "nil"), a.getfield("x"), a.pop()),
+         "NullPointerException"),
+        (lambda a: (a.const(2).newarray(), a.const(5), a.aload(), a.pop()),
+         "ArrayIndexOutOfBoundsException"),
+        (lambda a: (a.const(-3).newarray(), a.pop()),
+         "NegativeArraySizeException"),
+        (lambda a: (a.new("T"), a.emit(__import__("repro.vm.bytecode",
+         fromlist=["MONITOREXIT"]).MONITOREXIT, "x")),
+         "IllegalMonitorStateException"),
+    ])
+    def test_runtime_faults_map_to_guest_classes(self, body, exc_class):
+        with pytest.raises(UncaughtGuestException) as exc_info:
+            run_single(lambda a: body(a), fields=["nil:ref"])
+        assert exc_info.value.exc_class == exc_class
+
+    def test_faults_catchable_in_guest(self):
+        def emit(a: Asm):
+            a.try_(
+                body=lambda: (a.getstatic("T", "nil"), a.getfield("x"),
+                              a.pop()),
+                catches=[("NullPointerException",
+                          lambda: (a.pop(), a.const(1),
+                                   a.putstatic("T", "out")))],
+            )
+
+        vm = run_single(emit, fields=["out:int", "nil:ref"])
+        assert out_of(vm) == 1
+
+
+class TestUnwindingAcrossFrames:
+    def test_exception_propagates_through_callee(self):
+        thrower = Asm("boom", argc=0)
+        thrower.throw_new("RuntimeException")
+
+        main = Asm("main")
+        main.try_(
+            body=lambda: main.invoke("T", "boom", 0),
+            catches=[("RuntimeException",
+                      lambda: (main.pop(), main.const(3),
+                               main.putstatic("T", "out")))],
+        )
+        main.ret()
+
+        vm = make_vm()
+        vm.load(build_class("T", ["out:int"], [thrower, main]))
+        vm.spawn("T", "main", name="main")
+        vm.run()
+        assert out_of(vm) == 3
+
+    def test_monitor_released_during_unwinding(self):
+        """The javac-style catch-all release handler must free the monitor
+        when an exception escapes a synchronized block."""
+        def emit(a: Asm):
+            a.try_(
+                body=lambda: _sync_then_throw(a),
+                catches=[("RuntimeException", lambda: a.pop())],
+            )
+
+        def _sync_then_throw(a: Asm):
+            a.getstatic("T", "lock")
+            ctx = a.sync()
+            with ctx:
+                a.throw_new("RuntimeException")
+
+        asm = Asm("main")
+        emit(asm)
+        asm.ret()
+        vm = make_vm()
+        cls = build_class("T", ["lock:ref"], [asm])
+        vm.load(cls)
+        vm.set_static("T", "lock", vm.new_object("T"))
+        vm.spawn("T", "main", name="main")
+        vm.run()
+        lock = vm.get_static("T", "lock")
+        assert lock.monitor is not None
+        assert lock.monitor.owner is None  # released on the way out
+
+    def test_uncaught_exception_reports_thread_and_class(self):
+        with pytest.raises(UncaughtGuestException) as exc_info:
+            run_single(lambda a: a.throw_new("Error"))
+        assert exc_info.value.thread_name == "main"
+        assert exc_info.value.exc_class == "Error"
+
+    def test_uncaught_can_be_suppressed(self):
+        vm = run_single(
+            lambda a: a.throw_new("Error"),
+            raise_on_uncaught=False,
+        )
+        assert len(vm.uncaught) == 1
+        thread, exc = vm.uncaught[0]
+        assert thread.name == "main"
+        assert exc.classdef.name == "Error"
+
+    def test_exception_message_field(self):
+        def emit(a: Asm):
+            obj = a.local()
+            a.new("Exception").store(obj)
+            a.load(obj).const("custom detail").putfield("message")
+            a.load(obj).athrow()
+
+        with pytest.raises(UncaughtGuestException) as exc_info:
+            run_single(emit)
+        assert "custom detail" in str(exc_info.value)

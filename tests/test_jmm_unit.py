@@ -1,0 +1,141 @@
+"""Unit tests for the JMM dependency tracker (paper §2.1–2.2)."""
+
+import pytest
+
+from repro.core.jmm import JmmTracker
+from repro.vm.bytecode import Instruction, RETURN
+from repro.vm.classfile import MethodDef
+from repro.vm.threads import VMThread
+
+
+def make_thread(tid):
+    m = MethodDef(name="run", code=[Instruction(RETURN, 0)])
+    m.class_name = "T"
+    return VMThread(tid, f"t{tid}", m, [])
+
+
+class FakeSection:
+    """Stand-in for repro.core.sections.Section in unit tests."""
+
+    def __init__(self, name):
+        self.name = name
+
+    def __repr__(self):
+        return f"S({self.name})"
+
+
+LOC_A = ("f", 1, "x")
+LOC_B = ("f", 2, "y")
+
+
+@pytest.fixture
+def tracker():
+    return JmmTracker()
+
+
+class TestReadWriteDependency:
+    def test_read_by_other_thread_returns_writers_sections(self, tracker):
+        writer, reader = make_thread(1), make_thread(2)
+        s = FakeSection("s")
+        tracker.on_write(writer, LOC_A, (s,))
+        assert tracker.on_read(reader, LOC_A) == (s,)
+
+    def test_read_by_writer_itself_is_free(self, tracker):
+        writer = make_thread(1)
+        tracker.on_write(writer, LOC_A, (FakeSection("s"),))
+        assert tracker.on_read(writer, LOC_A) == ()
+
+    def test_read_of_untouched_location_is_free(self, tracker):
+        assert tracker.on_read(make_thread(1), LOC_B) == ()
+
+    def test_latest_write_wins(self, tracker):
+        """The reader observes the latest value; only the latest write's
+        enclosing sections matter."""
+        writer, reader = make_thread(1), make_thread(2)
+        s1, s2 = FakeSection("outer-only"), FakeSection("outer+inner")
+        tracker.on_write(writer, LOC_A, (s1,))
+        tracker.on_write(writer, LOC_A, (s1, s2))
+        assert tracker.on_read(reader, LOC_A) == (s1, s2)
+
+    def test_multiple_writers_all_reported(self, tracker):
+        w1, w2, reader = make_thread(1), make_thread(2), make_thread(3)
+        s1, s2 = FakeSection("a"), FakeSection("b")
+        tracker.on_write(w1, LOC_A, (s1,))
+        tracker.on_write(w2, LOC_A, (s2,))
+        assert set(tracker.on_read(reader, LOC_A)) == {s1, s2}
+
+    def test_reader_who_is_also_writer_sees_only_others(self, tracker):
+        w1, w2 = make_thread(1), make_thread(2)
+        s1, s2 = FakeSection("a"), FakeSection("b")
+        tracker.on_write(w1, LOC_A, (s1,))
+        tracker.on_write(w2, LOC_A, (s2,))
+        assert tracker.on_read(w1, LOC_A) == (s2,)
+
+
+class TestUndo:
+    def test_undo_pops_latest_write(self, tracker):
+        writer, reader = make_thread(1), make_thread(2)
+        s1, s2 = FakeSection("a"), FakeSection("b")
+        tracker.on_write(writer, LOC_A, (s1,))
+        tracker.on_write(writer, LOC_A, (s1, s2))
+        tracker.on_undo(writer, LOC_A)
+        assert tracker.on_read(reader, LOC_A) == (s1,)
+        tracker.on_undo(writer, LOC_A)
+        assert tracker.on_read(reader, LOC_A) == ()
+
+    def test_undo_cleans_empty_entries(self, tracker):
+        writer = make_thread(1)
+        tracker.on_write(writer, LOC_A, (FakeSection("s"),))
+        tracker.on_undo(writer, LOC_A)
+        assert len(tracker) == 0
+
+    def test_undo_of_unknown_location_is_noop(self, tracker):
+        tracker.on_undo(make_thread(1), LOC_A)
+        assert len(tracker) == 0
+
+    def test_undo_only_affects_that_thread(self, tracker):
+        w1, w2, reader = make_thread(1), make_thread(2), make_thread(3)
+        s1, s2 = FakeSection("a"), FakeSection("b")
+        tracker.on_write(w1, LOC_A, (s1,))
+        tracker.on_write(w2, LOC_A, (s2,))
+        tracker.on_undo(w1, LOC_A)
+        assert tracker.on_read(reader, LOC_A) == (s2,)
+
+
+class TestCommit:
+    def test_commit_clears_threads_writes(self, tracker):
+        writer, reader = make_thread(1), make_thread(2)
+        tracker.on_write(writer, LOC_A, (FakeSection("s"),))
+        tracker.on_write(writer, LOC_B, (FakeSection("s"),))
+        tracker.on_commit(writer, [LOC_A, LOC_B])
+        assert tracker.on_read(reader, LOC_A) == ()
+        assert tracker.on_read(reader, LOC_B) == ()
+        assert len(tracker) == 0
+
+    def test_commit_keeps_other_threads_writes(self, tracker):
+        w1, w2, reader = make_thread(1), make_thread(2), make_thread(3)
+        s2 = FakeSection("b")
+        tracker.on_write(w1, LOC_A, (FakeSection("a"),))
+        tracker.on_write(w2, LOC_A, (s2,))
+        tracker.on_commit(w1, [LOC_A])
+        assert tracker.on_read(reader, LOC_A) == (s2,)
+
+    def test_commit_with_duplicate_locations(self, tracker):
+        writer = make_thread(1)
+        tracker.on_write(writer, LOC_A, (FakeSection("s"),))
+        tracker.on_commit(writer, [LOC_A, LOC_A, LOC_A])
+        assert len(tracker) == 0
+
+
+class TestIntrospection:
+    def test_speculative_writers(self, tracker):
+        w1, w2 = make_thread(1), make_thread(2)
+        tracker.on_write(w1, LOC_A, (FakeSection("a"),))
+        tracker.on_write(w2, LOC_A, (FakeSection("b"),))
+        assert tracker.speculative_writers(LOC_A) == [1, 2]
+        assert tracker.speculative_writers(LOC_B) == []
+
+    def test_clear(self, tracker):
+        tracker.on_write(make_thread(1), LOC_A, (FakeSection("s"),))
+        tracker.clear()
+        assert len(tracker) == 0

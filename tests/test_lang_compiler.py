@@ -1,0 +1,491 @@
+"""MiniJava compiler tests: compile source, run it, assert on guest state."""
+
+import pytest
+
+from repro.lang import CompileError, compile_source
+from repro.vm.vmcore import JVM, VMOptions
+
+
+def run_main(source: str, *, mode="unmodified", statics=(), spawns=None,
+             **vm_opts):
+    """Compile, load, wire statics (name -> 'new ClassName'), run main."""
+    classes = compile_source(source)
+    vm = JVM(VMOptions(mode=mode, **vm_opts))
+    by_name = {}
+    for c in classes:
+        by_name[c.name] = vm.load(c)
+    for cls_name, field, target_cls in statics:
+        vm.set_static(cls_name, field, vm.new_object(target_cls))
+    if spawns is None:
+        spawns = [("main", [], 5, "main")]
+    for method, args, priority, name in spawns:
+        vm.spawn(classes[0].name, method, args=args, priority=priority,
+                 name=name)
+    vm.run()
+    return vm
+
+
+class TestExpressions:
+    @pytest.mark.parametrize("expr,expected", [
+        ("2 + 3 * 4", 14),
+        ("(2 + 3) * 4", 20),
+        ("7 / 2", 3),
+        ("-7 / 2", -3),
+        ("-7 % 3", -1),
+        ("1 << 4", 16),
+        ("-16 >> 2", -4),
+        ("12 & 10", 8),
+        ("12 | 10", 14),
+        ("12 ^ 10", 6),
+        ("-(3)", -3),
+        ("!0", 1),
+        ("!5", 0),
+        ("3 < 4", 1),
+        ("4 <= 3", 0),
+        ("3 == 3", 1),
+        ("3 != 3", 0),
+        ("true", 1),
+        ("false", 0),
+        ("1 < 2 && 3 < 4", 1),
+        ("1 < 2 && 4 < 3", 0),
+        ("2 < 1 || 3 < 4", 1),
+        ("2 < 1 || 4 < 3", 0),
+    ])
+    def test_arithmetic_and_logic(self, expr, expected):
+        vm = run_main(f"""
+            class T {{
+                static int out;
+                static void main() {{ out = {expr}; }}
+            }}
+        """)
+        assert vm.get_static("T", "out") == expected
+
+    def test_float_arithmetic(self):
+        vm = run_main("""
+            class T {
+                static float out;
+                static void main() { out = 1.5 + 2.25; }
+            }
+        """)
+        assert vm.get_static("T", "out") == pytest.approx(3.75)
+
+    def test_short_circuit_skips_side_effects(self):
+        vm = run_main("""
+            class T {
+                static int calls;
+                static int out;
+                static int bump() { calls = calls + 1; return 1; }
+                static void main() {
+                    out = false && bump() == 1;
+                    out = true || bump() == 1;
+                }
+            }
+        """)
+        assert vm.get_static("T", "calls") == 0
+        assert vm.get_static("T", "out") == 1
+
+
+class TestStatements:
+    def test_while_loop(self):
+        vm = run_main("""
+            class T {
+                static int out;
+                static void main() {
+                    int i = 0;
+                    while (i < 10) { out = out + i; i = i + 1; }
+                }
+            }
+        """)
+        assert vm.get_static("T", "out") == 45
+
+    def test_for_loop_with_break_continue(self):
+        vm = run_main("""
+            class T {
+                static int out;
+                static void main() {
+                    for (int i = 0; i < 100; i = i + 1) {
+                        if (i == 10) { break; }
+                        if (i % 2 == 0) { continue; }
+                        out = out + i;      // 1+3+5+7+9
+                    }
+                }
+            }
+        """)
+        assert vm.get_static("T", "out") == 25
+
+    def test_nested_loop_break_targets_inner(self):
+        vm = run_main("""
+            class T {
+                static int out;
+                static void main() {
+                    for (int i = 0; i < 3; i = i + 1) {
+                        for (int j = 0; j < 100; j = j + 1) {
+                            if (j == 2) { break; }
+                            out = out + 1;
+                        }
+                    }
+                }
+            }
+        """)
+        assert vm.get_static("T", "out") == 6
+
+    def test_arrays(self):
+        vm = run_main("""
+            class T {
+                static var data;
+                static int out;
+                static void main() {
+                    data = new int[5];
+                    for (int i = 0; i < length(data); i = i + 1) {
+                        data[i] = i * i;
+                    }
+                    out = data[4] + data[2];
+                }
+            }
+        """)
+        assert vm.get_static("T", "out") == 20
+
+    def test_instance_fields_and_methods(self):
+        vm = run_main("""
+            class Point {
+                int x;
+                int y;
+                static int out;
+
+                int sum() { return x + y; }
+                void shift(int dx) { x = x + dx; }
+
+                static void main() {
+                    Point p = new Point();
+                    p.x = 3;
+                    p.y = 4;
+                    p.shift(10);
+                    out = p.sum();
+                }
+            }
+        """)
+        assert vm.get_static("Point", "out") == 17
+
+    def test_cross_class_static_calls(self):
+        vm = run_main("""
+            class Main {
+                static int out;
+                static void main() { out = Math.square(7); }
+            }
+            class Math {
+                static int square(int n) { return n * n; }
+            }
+        """)
+        assert vm.get_static("Main", "out") == 49
+
+    def test_exceptions(self):
+        vm = run_main("""
+            class T {
+                static int caught;
+                static int fin;
+                static void main() {
+                    try {
+                        int x = 1 / 0;
+                    } catch (ArithmeticException e) {
+                        caught = 1;
+                    } finally {
+                        fin = 1;
+                    }
+                }
+            }
+        """)
+        assert vm.get_static("T", "caught") == 1
+        assert vm.get_static("T", "fin") == 1
+
+    def test_throw_and_catch_custom(self):
+        vm = run_main("""
+            class T {
+                static int out;
+                static void main() {
+                    try { throw new Boom(); }
+                    catch (Boom) { out = 7; }
+                }
+            }
+            class Boom { }
+        """)
+        assert vm.get_static("T", "out") == 7
+
+    def test_builtins(self):
+        vm = run_main("""
+            class T {
+                static int t0;
+                static int tid;
+                static int r;
+                static void main() {
+                    t0 = currentTime();
+                    sleep(500);
+                    tid = threadId();
+                    r = rand(10);
+                    yieldNow();
+                    print("done", r);
+                }
+            }
+        """)
+        assert vm.get_static("T", "t0") >= 0
+        assert 0 <= vm.get_static("T", "r") < 10
+        assert vm.console and vm.console[0].startswith("done")
+
+
+class TestConcurrency:
+    COUNTER = """
+        class Counter {
+            static int value;
+            static Counter lock;
+
+            static void run(int iters) {
+                for (int i = 0; i < iters; i = i + 1) {
+                    synchronized (lock) {
+                        value = value + 1;
+                    }
+                }
+            }
+        }
+    """
+
+    @pytest.mark.parametrize("mode", ["unmodified", "rollback"])
+    def test_synchronized_block_counter(self, mode):
+        vm = run_main(
+            self.COUNTER, mode=mode,
+            statics=[("Counter", "lock", "Counter")],
+            spawns=[
+                ("run", [400], 1, "low"),
+                ("run", [400], 10, "high"),
+            ],
+        )
+        assert vm.get_static("Counter", "value") == 800
+
+    def test_synchronized_method(self):
+        vm = run_main("""
+            class C {
+                static int value;
+                static synchronized void bump(int n) {
+                    for (int i = 0; i < n; i = i + 1) {
+                        value = value + 1;
+                    }
+                }
+                static void run() { bump(500); }
+            }
+        """, mode="rollback", spawns=[
+            ("run", [], 1, "a"), ("run", [], 9, "b"),
+        ])
+        assert vm.get_static("C", "value") == 1000
+
+    def test_wait_notify(self):
+        vm = run_main("""
+            class PingPong {
+                static PingPong lock;
+                static int flag;
+                static int observed;
+
+                static void consumer() {
+                    synchronized (lock) {
+                        while (flag == 0) { lock.wait(); }
+                        observed = 1;
+                    }
+                }
+                static void producer() {
+                    sleep(2000);
+                    synchronized (lock) {
+                        flag = 1;
+                        lock.notifyAll();
+                    }
+                }
+            }
+        """, statics=[("PingPong", "lock", "PingPong")], spawns=[
+            ("consumer", [], 5, "c"), ("producer", [], 5, "p"),
+        ])
+        assert vm.get_static("PingPong", "observed") == 1
+
+    def test_rollback_revocation_on_compiled_code(self):
+        """The full pipeline: MiniJava -> bytecode -> transformer ->
+        revocation, with exact final state."""
+        vm = run_main("""
+            class W {
+                static W lock;
+                static int value;
+                static void run(int iters, int delay) {
+                    sleep(delay);
+                    synchronized (lock) {
+                        for (int i = 0; i < iters; i = i + 1) {
+                            value = value + 1;
+                        }
+                    }
+                }
+            }
+        """, mode="rollback", statics=[("W", "lock", "W")], spawns=[
+            ("run", [2000, 1], 1, "low"),
+            ("run", [50, 5000], 10, "high"),
+        ], trace=True)
+        assert vm.get_static("W", "value") == 2050
+        assert vm.metrics()["support"]["revocations_completed"] >= 1
+
+
+class TestCompileErrors:
+    @pytest.mark.parametrize("source,pattern", [
+        ("class A { } class A { }", "duplicate class"),
+        ("class A { static void m() { int x; int x; } }",
+         "duplicate variable"),
+        ("class A { static void m() { y = 1; } }", "unknown variable"),
+        ("class A { static void m() { return 1; } }",
+         "cannot return a value"),
+        ("class A { static int m() { return; } }", "missing return value"),
+        ("class A { static int m() { int x = 1; } }", "missing return"),
+        ("class A { static void m() { break; } }", "outside a loop"),
+        ("class A { int f; static void m() { f = 1; } }",
+         "static method"),
+        ("class A { static void m() { pause(n); } }", "constant integer"),
+        ("class A { static void m() { A.wait(); } }", "needs an object"),
+        ("class A { static void m() { o.zap(); } }", "no method"),
+        ("class A { void m() { } void x() { this.m(); } } "
+         "class B { void m() { } }", "ambiguous"),
+    ])
+    def test_rejected(self, source, pattern):
+        with pytest.raises(CompileError, match=pattern):
+            compile_source(source)
+
+    def test_unknown_variable_in_expr(self):
+        with pytest.raises(CompileError, match="unknown variable"):
+            compile_source(
+                "class A { static void m() { int x = ghost + 1; } }"
+            )
+
+
+class TestSyntaxSugar:
+    def test_compound_assignment(self):
+        vm = run_main("""
+            class T {
+                static int out;
+                static void main() {
+                    int x = 10;
+                    x += 5; x -= 2; x *= 3; x /= 2; x %= 10;
+                    out = x;
+                }
+            }
+        """)
+        # ((10+5-2)*3)/2 = 19; 19 % 10 = 9
+        assert vm.get_static("T", "out") == 9
+
+    def test_compound_assignment_on_fields_and_arrays(self):
+        vm = run_main("""
+            class T {
+                static int acc;
+                static var data;
+                static void main() {
+                    data = new int[3];
+                    data[1] += 7;
+                    acc += data[1];
+                    acc *= 2;
+                }
+            }
+        """)
+        assert vm.get_static("T", "acc") == 14
+
+    def test_increment_decrement(self):
+        vm = run_main("""
+            class T {
+                static int out;
+                static void main() {
+                    int i = 0;
+                    while (i < 10) { i++; }
+                    i--;
+                    out = i;
+                }
+            }
+        """)
+        assert vm.get_static("T", "out") == 9
+
+    def test_for_with_increment_step(self):
+        vm = run_main("""
+            class T {
+                static int out;
+                static void main() {
+                    for (int i = 0; i < 5; i++) { out += i; }
+                }
+            }
+        """)
+        assert vm.get_static("T", "out") == 10
+
+    def test_do_while_runs_body_at_least_once(self):
+        vm = run_main("""
+            class T {
+                static int out;
+                static void main() {
+                    int i = 100;
+                    do { out += 1; } while (i < 10);
+                }
+            }
+        """)
+        assert vm.get_static("T", "out") == 1
+
+    def test_do_while_loops(self):
+        vm = run_main("""
+            class T {
+                static int out;
+                static void main() {
+                    int i = 0;
+                    do { out += i; i++; } while (i < 5);
+                }
+            }
+        """)
+        assert vm.get_static("T", "out") == 10
+
+    def test_do_while_break_continue(self):
+        vm = run_main("""
+            class T {
+                static int out;
+                static void main() {
+                    int i = 0;
+                    do {
+                        i++;
+                        if (i == 3) { continue; }
+                        if (i == 6) { break; }
+                        out += i;
+                    } while (i < 100);
+                }
+            }
+        """)
+        assert vm.get_static("T", "out") == 1 + 2 + 4 + 5
+
+    def test_ternary(self):
+        vm = run_main("""
+            class T {
+                static int out;
+                static void main() {
+                    int a = 5;
+                    out = a > 3 ? 100 : 200;
+                    out += a > 10 ? 1 : 2;
+                }
+            }
+        """)
+        assert vm.get_static("T", "out") == 102
+
+    def test_nested_ternary(self):
+        vm = run_main("""
+            class T {
+                static int out;
+                static void main() {
+                    int a = 2;
+                    out = a == 1 ? 10 : a == 2 ? 20 : 30;
+                }
+            }
+        """)
+        assert vm.get_static("T", "out") == 20
+
+    def test_ternary_short_circuits_sides(self):
+        vm = run_main("""
+            class T {
+                static int calls;
+                static int out;
+                static int bump() { calls += 1; return 99; }
+                static void main() {
+                    out = true ? 7 : bump();
+                }
+            }
+        """)
+        assert vm.get_static("T", "out") == 7
+        assert vm.get_static("T", "calls") == 0

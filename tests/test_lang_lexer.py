@@ -1,0 +1,85 @@
+"""Unit tests for the MiniJava lexer."""
+
+import pytest
+
+from repro.lang.lexer import LexError, tokenize
+
+
+def kinds(src):
+    return [t.kind for t in tokenize(src)]
+
+
+def texts(src):
+    return [t.text for t in tokenize(src)[:-1]]  # drop eof
+
+
+class TestBasics:
+    def test_empty_source_is_just_eof(self):
+        toks = tokenize("")
+        assert len(toks) == 1 and toks[0].kind == "eof"
+
+    def test_keywords_vs_identifiers(self):
+        toks = tokenize("class Foo while whilex")
+        assert [t.kind for t in toks[:-1]] == [
+            "keyword", "ident", "keyword", "ident",
+        ]
+
+    def test_integer_literal(self):
+        tok = tokenize("1234")[0]
+        assert tok.kind == "int" and tok.value == 1234
+
+    def test_integer_with_underscores(self):
+        assert tokenize("1_000_000")[0].value == 1000000
+
+    def test_float_literal(self):
+        tok = tokenize("3.25")[0]
+        assert tok.kind == "float" and tok.value == 3.25
+
+    def test_int_dot_ident_is_not_float(self):
+        # "1.x" must lex as int, '.', ident (field access on a literal is
+        # nonsense but the lexer should not eat the dot into a float)
+        assert kinds("1.x")[:3] == ["int", "op", "ident"]
+
+    def test_string_literal_with_escapes(self):
+        tok = tokenize(r'"a\nb\"c\\d"')[0]
+        assert tok.kind == "string"
+        assert tok.value == 'a\nb"c\\d'
+
+    def test_maximal_munch_operators(self):
+        assert texts("<<= == = <= <") == ["<<", "=", "==", "=", "<=", "<"]
+
+    def test_line_and_column_tracking(self):
+        toks = tokenize("a\n  bb")
+        assert (toks[0].line, toks[0].col) == (1, 1)
+        assert (toks[1].line, toks[1].col) == (2, 3)
+
+
+class TestComments:
+    def test_line_comment(self):
+        assert texts("a // comment here\nb") == ["a", "b"]
+
+    def test_block_comment(self):
+        assert texts("a /* x\ny */ b") == ["a", "b"]
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(LexError, match="unterminated"):
+            tokenize("a /* never closed")
+
+
+class TestErrors:
+    def test_unexpected_character(self):
+        with pytest.raises(LexError, match="unexpected"):
+            tokenize("a @ b")
+
+    def test_unterminated_string(self):
+        with pytest.raises(LexError, match="unterminated"):
+            tokenize('"abc')
+
+    def test_newline_in_string(self):
+        with pytest.raises(LexError):
+            tokenize('"ab\ncd"')
+
+    def test_error_carries_position(self):
+        with pytest.raises(LexError) as exc_info:
+            tokenize("ok\n   $")
+        assert exc_info.value.line == 2

@@ -1,0 +1,201 @@
+"""Unit tests for the MiniJava parser."""
+
+import pytest
+
+from repro.lang import ast
+from repro.lang.parser import ParseError, parse
+
+
+def parse_class(body: str) -> ast.ClassDecl:
+    return parse(f"class C {{ {body} }}").classes[0]
+
+
+def parse_method_body(stmts: str) -> list[ast.Stmt]:
+    cls = parse_class(f"static void m() {{ {stmts} }}")
+    return cls.methods[0].body
+
+
+def parse_expr(expr: str) -> ast.Expr:
+    body = parse_method_body(f"int x = {expr};")
+    return body[0].init
+
+
+class TestDeclarations:
+    def test_class_with_fields_and_methods(self):
+        cls = parse_class("""
+            static int value;
+            volatile static int flag;
+            Other friend;
+            static void run(int a, float b) { return; }
+            int get() { return 1; }
+        """)
+        assert cls.name == "C"
+        assert [f.name for f in cls.fields] == ["value", "flag", "friend"]
+        assert cls.fields[1].volatile
+        assert cls.fields[2].type_name == "Other"
+        assert not cls.fields[2].is_static
+        run = cls.methods[0]
+        assert run.is_static and run.return_type == "void"
+        assert [(p.name, p.type_name) for p in run.params] == [
+            ("a", "int"), ("b", "float"),
+        ]
+        get = cls.methods[1]
+        assert not get.is_static and get.return_type == "int"
+
+    def test_synchronized_method_flag(self):
+        cls = parse_class("static synchronized void m() { }")
+        assert cls.methods[0].synchronized
+
+    def test_multiple_classes(self):
+        prog = parse("class A { } class B { }")
+        assert [c.name for c in prog.classes] == ["A", "B"]
+
+    def test_empty_program_rejected(self):
+        with pytest.raises(ParseError):
+            parse("   ")
+
+    @pytest.mark.parametrize("bad", [
+        "class C { synchronized int f; }",
+        "class C { static void v; }",
+        "class C { volatile void m() { } }",
+        "class C { static int m(",
+        "class { }",
+    ])
+    def test_malformed_members_rejected(self, bad):
+        with pytest.raises(ParseError):
+            parse(bad)
+
+
+class TestStatements:
+    def test_var_decl_with_and_without_init(self):
+        body = parse_method_body("int a; int b = 5; C o = new C();")
+        assert isinstance(body[0], ast.VarDecl) and body[0].init is None
+        assert body[1].init.value == 5
+        assert isinstance(body[2].init, ast.New)
+
+    def test_assignment_targets(self):
+        body = parse_method_body(
+            "x = 1; C.f = 2; o.f = 3; a[i] = 4;"
+        )
+        assert isinstance(body[0].target, ast.Name)
+        assert isinstance(body[1].target, ast.FieldAccess)
+        assert isinstance(body[2].target, ast.FieldAccess)
+        assert isinstance(body[3].target, ast.Index)
+
+    def test_invalid_assignment_target(self):
+        with pytest.raises(ParseError, match="assignment target"):
+            parse_method_body("1 + 2 = 3;")
+
+    def test_bare_expression_statement_must_call(self):
+        with pytest.raises(ParseError, match="must be a call"):
+            parse_method_body("x + 1;")
+
+    def test_if_else_chains(self):
+        (stmt,) = parse_method_body(
+            "if (a) { f(); } else if (b) g(); else { h(); }"
+        )
+        assert isinstance(stmt, ast.If)
+        assert isinstance(stmt.orelse[0], ast.If)
+        assert stmt.orelse[0].orelse
+
+    def test_while_and_flow(self):
+        (stmt,) = parse_method_body(
+            "while (x < 3) { if (x == 2) break; continue; }"
+        )
+        assert isinstance(stmt, ast.While)
+        assert isinstance(stmt.body[0], ast.If)
+        assert isinstance(stmt.body[0].then[0], ast.Break)
+        assert isinstance(stmt.body[1], ast.Continue)
+
+    def test_for_loop_full(self):
+        (stmt,) = parse_method_body(
+            "for (int i = 0; i < 10; i = i + 1) { f(); }"
+        )
+        assert isinstance(stmt, ast.For)
+        assert isinstance(stmt.init, ast.VarDecl)
+        assert isinstance(stmt.cond, ast.Binary)
+        assert isinstance(stmt.step, ast.Assign)
+
+    def test_for_loop_empty_clauses(self):
+        (stmt,) = parse_method_body("for (;;) { break; }")
+        assert stmt.init is None and stmt.cond is None and stmt.step is None
+
+    def test_synchronized(self):
+        (stmt,) = parse_method_body("synchronized (C.lock) { f(); }")
+        assert isinstance(stmt, ast.Synchronized)
+        assert isinstance(stmt.monitor, ast.FieldAccess)
+
+    def test_try_catch_finally(self):
+        (stmt,) = parse_method_body("""
+            try { f(); }
+            catch (ArithmeticException e) { g(); }
+            catch (Throwable) { h(); }
+            finally { k(); }
+        """)
+        assert isinstance(stmt, ast.Try)
+        assert stmt.catches[0][0] == "ArithmeticException"
+        assert stmt.catches[0][1] == "e"
+        assert stmt.catches[1][1] is None
+        assert stmt.finally_body is not None
+
+    def test_try_alone_rejected(self):
+        with pytest.raises(ParseError, match="without catch"):
+            parse_method_body("try { f(); }")
+
+    def test_return_and_throw(self):
+        body = parse_method_body("if (x) return; throw new E();")
+        assert isinstance(body[0].then[0], ast.Return)
+        assert isinstance(body[1], ast.Throw)
+
+
+class TestExpressions:
+    def test_precedence(self):
+        e = parse_expr("1 + 2 * 3")
+        assert e.op == "+" and e.right.op == "*"
+
+    def test_parentheses_override(self):
+        e = parse_expr("(1 + 2) * 3")
+        assert e.op == "*" and e.left.op == "+"
+
+    def test_comparison_binds_looser_than_arithmetic(self):
+        e = parse_expr("a + 1 < b * 2")
+        assert e.op == "<"
+
+    def test_logical_operators_loosest(self):
+        e = parse_expr("a < b && c > d || e == f")
+        assert e.op == "||"
+        assert e.left.op == "&&"
+
+    def test_unary(self):
+        e = parse_expr("-x + !y")
+        assert e.left.op == "-" and e.right.op == "!"
+
+    def test_postfix_chains(self):
+        e = parse_expr("a.b[2].c")
+        assert isinstance(e, ast.FieldAccess)
+        assert isinstance(e.obj, ast.Index)
+        assert isinstance(e.obj.array, ast.FieldAccess)
+
+    def test_calls(self):
+        e = parse_expr("f(1, g(), o.m(2))")
+        assert isinstance(e, ast.Call) and e.target is None
+        assert len(e.args) == 3
+        inner = e.args[2]
+        assert isinstance(inner, ast.Call)
+        assert isinstance(inner.target, ast.Name)
+
+    def test_new_forms(self):
+        assert isinstance(parse_expr("new Foo()"), ast.New)
+        arr = parse_expr("new int[10]")
+        assert isinstance(arr, ast.NewArray)
+        ref_arr = parse_expr("new Foo[n]")
+        assert isinstance(ref_arr, ast.NewArray)
+
+    def test_literals(self):
+        assert parse_expr("null").__class__ is ast.NullLit
+        assert parse_expr("true").value is True
+        assert parse_expr('"hi"').value == "hi"
+
+    def test_shift_and_bitwise(self):
+        e = parse_expr("a << 2 | b >> 1")
+        assert e.op == "|"

@@ -1,0 +1,118 @@
+"""Property-based tests for the MiniJava compiler: random expression trees
+must evaluate exactly as a Python reference interpreter with Java integer
+semantics."""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.lang import compile_source
+from repro.vm.interpreter import _idiv, _imod
+from repro.vm.vmcore import JVM, VMOptions
+
+
+# ----------------------------------------------------- expression generator
+_INT_BINOPS = ["+", "-", "*", "/", "%", "&", "|", "^"]
+_CMP_OPS = ["<", "<=", ">", ">=", "==", "!="]
+
+
+@st.composite
+def int_expr(draw, depth=0):
+    """(source_text, python_value) pairs with Java semantics."""
+    if depth >= 4 or draw(st.booleans()):
+        value = draw(st.integers(-50, 50))
+        if value < 0:
+            return f"(0 - {-value})", value
+        return str(value), value
+    kind = draw(st.sampled_from(["bin", "cmp", "neg", "paren", "logic"]))
+    if kind == "neg":
+        text, value = draw(int_expr(depth=depth + 1))
+        return f"(-{text})", -value
+    if kind == "paren":
+        text, value = draw(int_expr(depth=depth + 1))
+        return f"({text})", value
+    left_t, left_v = draw(int_expr(depth=depth + 1))
+    right_t, right_v = draw(int_expr(depth=depth + 1))
+    if kind == "cmp":
+        op = draw(st.sampled_from(_CMP_OPS))
+        py = {
+            "<": left_v < right_v, "<=": left_v <= right_v,
+            ">": left_v > right_v, ">=": left_v >= right_v,
+            "==": left_v == right_v, "!=": left_v != right_v,
+        }[op]
+        return f"({left_t} {op} {right_t})", int(py)
+    if kind == "logic":
+        op = draw(st.sampled_from(["&&", "||"]))
+        if op == "&&":
+            value = int(bool(left_v) and bool(right_v))
+        else:
+            value = int(bool(left_v) or bool(right_v))
+        return f"({left_t} {op} {right_t})", value
+    op = draw(st.sampled_from(_INT_BINOPS))
+    if op in ("/", "%") and right_v == 0:
+        op = "+"
+    value = {
+        "+": lambda: left_v + right_v,
+        "-": lambda: left_v - right_v,
+        "*": lambda: left_v * right_v,
+        "/": lambda: _idiv(left_v, right_v),
+        "%": lambda: _imod(left_v, right_v),
+        "&": lambda: left_v & right_v,
+        "|": lambda: left_v | right_v,
+        "^": lambda: left_v ^ right_v,
+    }[op]()
+    return f"({left_t} {op} {right_t})", value
+
+
+def evaluate_in_guest(expr_text: str) -> int:
+    source = f"""
+        class T {{
+            static int out;
+            static void main() {{ out = {expr_text}; }}
+        }}
+    """
+    vm = JVM(VMOptions())
+    for cls in compile_source(source):
+        vm.load(cls)
+    vm.spawn("T", "main", name="main")
+    vm.run()
+    return vm.get_static("T", "out")
+
+
+class TestExpressionSemantics:
+    @given(int_expr())
+    @settings(max_examples=60, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_random_expression_matches_reference(self, pair):
+        text, expected = pair
+        assert evaluate_in_guest(text) == expected
+
+    @given(st.integers(-100, 100), st.integers(-100, 100))
+    @settings(max_examples=30, deadline=None)
+    def test_division_pairs(self, a, b):
+        if b == 0:
+            return
+        assert evaluate_in_guest(f"(0 - {-a}) / (0 - {-b})"
+                                 if a < 0 and b < 0 else f"({a}) / ({b})"
+                                 if a >= 0 and b >= 0 else
+                                 f"({a}) / ({b})") == _idiv(a, b)
+
+
+class TestCompiledLoopSemantics:
+    @given(st.integers(0, 30), st.integers(1, 5))
+    @settings(max_examples=20, deadline=None)
+    def test_loop_sum_matches_python(self, n, step):
+        source = f"""
+            class T {{
+                static int out;
+                static void main() {{
+                    for (int i = 0; i < {n}; i = i + {step}) {{
+                        out = out + i;
+                    }}
+                }}
+            }}
+        """
+        vm = JVM(VMOptions())
+        for cls in compile_source(source):
+            vm.load(cls)
+        vm.spawn("T", "main", name="main")
+        vm.run()
+        assert vm.get_static("T", "out") == sum(range(0, n, step))

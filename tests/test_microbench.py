@@ -1,0 +1,184 @@
+"""Tests for the benchmark generator and harness (paper §4.1)."""
+
+import pytest
+
+from repro.bench.figures import (
+    FigurePanel,
+    all_panels,
+    run_panel,
+)
+from repro.bench.harness import compare_modes, run_microbench
+from repro.bench.microbench import (
+    HIGH_PRIORITY,
+    LOW_PRIORITY,
+    MicrobenchConfig,
+    build_microbench_class,
+    setup_microbench_vm,
+)
+from repro.vm import bytecode as bc
+from repro.vm.vmcore import JVM, VMOptions
+
+SMALL = MicrobenchConfig(
+    high_threads=2, low_threads=4,
+    iters_high=60, iters_low=300, sections=4,
+    write_pct=50, seed=17,
+)
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MicrobenchConfig(write_pct=150)
+        with pytest.raises(ValueError):
+            MicrobenchConfig(sections=0)
+
+    def test_scaled(self):
+        half = SMALL.scaled(0.5)
+        assert half.iters_low == 150
+        assert half.sections == 2
+        assert half.write_pct == SMALL.write_pct
+
+    def test_scaled_floors_at_one(self):
+        tiny = SMALL.scaled(0.0001)
+        assert tiny.iters_high >= 1 and tiny.sections >= 1
+
+
+class TestGeneratedProgram:
+    def test_program_shape(self):
+        cls = build_microbench_class(SMALL)
+        run = cls.method("run")
+        ops = [ins.op for ins in run.code]
+        assert bc.MONITORENTER in ops
+        assert bc.PAUSE in ops
+        assert bc.ASTORE in ops and bc.ALOAD in ops
+
+    def test_endpoints_keep_uniform_iteration_cost(self):
+        """0% and 100% programs still emit BOTH arms and the interleaving
+        test, so every sweep point pays the same per-iteration budget."""
+        for pct in (0, 100):
+            cls = build_microbench_class(
+                MicrobenchConfig(write_pct=pct, seed=1)
+            )
+            ops = [ins.op for ins in cls.method("run").code]
+            assert bc.ASTORE in ops and bc.ALOAD in ops
+            assert bc.IFNOT in ops or bc.IF in ops
+
+    def test_pure_read_program_never_stores(self):
+        """At 0% writes the store arm is dead code: running it logs no
+        undo entries beyond zero array stores."""
+        from repro.bench.harness import run_microbench
+
+        cfg = MicrobenchConfig(
+            high_threads=1, low_threads=1, iters_high=50, iters_low=50,
+            sections=2, write_pct=0, seed=1,
+        )
+        result = run_microbench(cfg, "rollback")
+        assert result.undo_logged == 0
+
+    def test_setup_spawns_configured_mix(self):
+        vm = JVM(VMOptions(mode="unmodified", seed=SMALL.seed))
+        setup_microbench_vm(vm, SMALL)
+        highs = [t for t in vm.threads if t.priority == HIGH_PRIORITY]
+        lows = [t for t in vm.threads if t.priority == LOW_PRIORITY]
+        assert len(highs) == SMALL.high_threads
+        assert len(lows) == SMALL.low_threads
+
+
+class TestHarness:
+    def test_run_produces_metrics(self):
+        result = run_microbench(SMALL, "unmodified")
+        assert result.high_elapsed > 0
+        assert result.overall_elapsed >= result.high_elapsed
+        assert result.rollbacks == 0
+
+    def test_modified_run_counts_rollbacks(self):
+        result = run_microbench(SMALL, "rollback")
+        assert result.undo_logged > 0
+        assert result.metrics["support"]["sections_entered"] > 0
+
+    def test_same_seed_is_deterministic(self):
+        a = run_microbench(SMALL, "rollback")
+        b = run_microbench(SMALL, "rollback")
+        assert a.high_elapsed == b.high_elapsed
+        assert a.total_cycles == b.total_cycles
+        assert a.rollbacks == b.rollbacks
+
+    def test_compare_modes_pairs_seeds(self):
+        cmp_result = compare_modes(SMALL, repetitions=2)
+        assert set(cmp_result.runs) == {"unmodified", "rollback"}
+        for runs in cmp_result.runs.values():
+            assert len(runs) == 2
+        # paired: both modes saw the same derived seeds
+        seeds_u = [r.config.seed for r in cmp_result.runs["unmodified"]]
+        seeds_m = [r.config.seed for r in cmp_result.runs["rollback"]]
+        assert seeds_u == seeds_m
+        assert len(set(seeds_u)) == 2
+
+    def test_summary_and_speedup(self):
+        cmp_result = compare_modes(SMALL, repetitions=2)
+        s = cmp_result.summary("unmodified")
+        assert s.n == 2 and s.mean > 0
+        assert cmp_result.speedup() > 0
+
+
+class TestFigureDefinitions:
+    def test_twelve_panels(self):
+        panels = all_panels()
+        assert len(panels) == 12
+        assert {p.figure for p in panels} == {5, 6, 7, 8}
+
+    def test_metric_selection(self):
+        assert FigurePanel(5, "a").metric == "high_elapsed"
+        assert FigurePanel(7, "a").metric == "overall_elapsed"
+
+    def test_iteration_scale_selection(self):
+        assert FigurePanel(5, "a").iters_high < FigurePanel(6, "a").iters_high
+        assert FigurePanel(7, "b").iters_high == FigurePanel(5, "b").iters_high
+
+    def test_thread_mixes(self):
+        assert FigurePanel(5, "a").mix == (2, 8)
+        assert FigurePanel(6, "b").mix == (5, 5)
+        assert FigurePanel(8, "c").mix == (8, 2)
+
+    def test_invalid_panel_rejected(self):
+        with pytest.raises(ValueError):
+            FigurePanel(4, "a")
+        with pytest.raises(ValueError):
+            FigurePanel(5, "d")
+
+    def test_titles_mention_figure(self):
+        assert "Figure 6(c)" in FigurePanel(6, "c").title
+
+
+class TestPanelShape:
+    """A scaled-down panel run reproducing the paper's headline shape."""
+
+    @pytest.fixture(scope="class")
+    def panel_result(self):
+        panel = FigurePanel(5, "a")  # 2 high + 8 low: strongest effect
+        return run_panel(
+            panel, repetitions=2, write_ratios=(0, 60),
+            seed=23,
+        )
+
+    def test_modified_beats_unmodified_on_high_priority(self, panel_result):
+        """Figures 5-6 (a)(b): 'our hybrid implementation improves
+        throughput for high-priority threads'."""
+        assert panel_result.mean_speedup("high_elapsed") > 1.0
+
+    def test_unmodified_baseline_normalizes_to_one(self, panel_result):
+        assert panel_result.series("unmodified")[0] == pytest.approx(1.0)
+
+    def test_overall_time_overhead(self, panel_result):
+        """Figures 7-8: 'the overall elapsed time for the modified VM must
+        always be longer than for the unmodified VM'."""
+        mod = panel_result.series("rollback", "overall_elapsed")
+        unmod = panel_result.series("unmodified", "overall_elapsed")
+        assert sum(mod) > sum(unmod) * 0.98  # allow tiny seed noise
+
+    def test_render_does_not_crash(self, panel_result):
+        from repro.bench.report import render_panel
+
+        text = render_panel(panel_result)
+        assert "MODIFIED" in text and "UNMODIFIED" in text
+        assert "Figure 5(a)" in text

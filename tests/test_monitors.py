@@ -1,0 +1,226 @@
+"""Unit tests for monitors: ownership, recursion, prioritized queues,
+direct handoff, wait sets."""
+
+import pytest
+
+from repro.errors import GuestRuntimeError
+from repro.vm.classfile import ClassDef
+from repro.vm.classfile import MethodDef
+from repro.vm.bytecode import Instruction, RETURN
+from repro.vm.heap import VMObject
+from repro.vm.monitors import Monitor, monitor_of
+from repro.vm.threads import VMThread
+
+
+def make_thread(tid, priority=5, name=None):
+    m = MethodDef(name="run", code=[Instruction(RETURN, 0)])
+    m.class_name = "T"
+    return VMThread(tid, name or f"t{tid}", m, [], priority=priority)
+
+
+@pytest.fixture
+def obj():
+    return VMObject(1, ClassDef("C"))
+
+
+@pytest.fixture
+def mon(obj):
+    return Monitor(obj)
+
+
+class TestInflation:
+    def test_lazy_inflation(self, obj):
+        assert obj.monitor is None
+        m = monitor_of(obj)
+        assert obj.monitor is m
+        assert monitor_of(obj) is m
+
+    def test_release_policy_is_per_call(self, mon):
+        """Monitors carry no queue policy; the caller passes it at release
+        (the VM forwards its options)."""
+        holder, low, high = make_thread(0), make_thread(1, priority=1), \
+            make_thread(2, priority=10)
+        mon.try_acquire(holder)
+        mon.enqueue(low)
+        mon.enqueue(high)
+        woken = mon.release(holder, prioritized=True, handoff=False)
+        assert woken is high          # selected, not yet owner
+        assert mon.owner is None      # monitor left free: barging possible
+        assert mon.is_queued(high)
+
+
+class TestAcquisition:
+    def test_uncontended(self, mon):
+        t = make_thread(1)
+        assert mon.try_acquire(t)
+        assert mon.owner is t and mon.count == 1
+        assert mon in t.held_monitors
+
+    def test_deposited_priority(self, mon):
+        t = make_thread(1, priority=7)
+        mon.try_acquire(t)
+        assert mon.deposited_priority == 7
+
+    def test_recursive(self, mon):
+        t = make_thread(1)
+        assert mon.try_acquire(t)
+        assert mon.try_acquire(t)
+        assert mon.count == 2
+        assert t.held_monitors.count(mon) == 1
+
+    def test_contended_fails(self, mon):
+        a, b = make_thread(1), make_thread(2)
+        assert mon.try_acquire(a)
+        assert not mon.try_acquire(b)
+
+    def test_double_enqueue_rejected(self, mon):
+        a, b = make_thread(1), make_thread(2)
+        mon.try_acquire(a)
+        mon.enqueue(b)
+        with pytest.raises(GuestRuntimeError):
+            mon.enqueue(b)
+
+
+class TestRelease:
+    def test_release_to_free(self, mon):
+        t = make_thread(1)
+        mon.try_acquire(t)
+        assert mon.release(t) is None
+        assert mon.owner is None
+        assert mon not in t.held_monitors
+        assert mon.deposited_priority == -1
+
+    def test_recursive_release_keeps_ownership(self, mon):
+        t = make_thread(1)
+        mon.try_acquire(t)
+        mon.try_acquire(t)
+        assert mon.release(t) is None
+        assert mon.owner is t and mon.count == 1
+
+    def test_release_by_non_owner_raises(self, mon):
+        a, b = make_thread(1), make_thread(2)
+        mon.try_acquire(a)
+        with pytest.raises(GuestRuntimeError) as exc_info:
+            mon.release(b)
+        assert exc_info.value.guest_class == "IllegalMonitorStateException"
+
+    def test_direct_handoff(self, mon):
+        a, b = make_thread(1), make_thread(2)
+        mon.try_acquire(a)
+        mon.enqueue(b)
+        handed = mon.release(a)
+        assert handed is b
+        assert mon.owner is b and mon.count == 1
+        assert mon in b.held_monitors
+        assert mon.handoffs == 1
+
+
+class TestPrioritizedQueue:
+    def test_highest_priority_wins(self, mon):
+        """Paper §4: a low-priority waiter runs only if no high-priority
+        thread is waiting."""
+        holder = make_thread(0)
+        low = make_thread(1, priority=1)
+        high = make_thread(2, priority=10)
+        mon.try_acquire(holder)
+        mon.enqueue(low)   # low arrived FIRST
+        mon.enqueue(high)
+        assert mon.release(holder) is high
+
+    def test_fifo_within_priority_level(self, mon):
+        holder = make_thread(0)
+        first = make_thread(1, priority=5)
+        second = make_thread(2, priority=5)
+        mon.try_acquire(holder)
+        mon.enqueue(first)
+        mon.enqueue(second)
+        assert mon.release(holder) is first
+
+    def test_unprioritized_is_plain_fifo(self, obj):
+        mon = Monitor(obj)
+        holder = make_thread(0)
+        low = make_thread(1, priority=1)
+        high = make_thread(2, priority=10)
+        mon.try_acquire(holder)
+        mon.enqueue(low)
+        mon.enqueue(high)
+        assert mon.release(holder, prioritized=False) is low
+
+    def test_effective_priority_checked_at_release_time(self, mon):
+        """Inheritance/ceiling boosts applied while queued must count."""
+        holder = make_thread(0)
+        a = make_thread(1, priority=2)
+        b = make_thread(2, priority=3)
+        mon.try_acquire(holder)
+        mon.enqueue(a)
+        mon.enqueue(b)
+        a.inherited_priority = 9  # boosted while waiting
+        assert mon.release(holder) is a
+
+    def test_highest_queued_priority(self, mon):
+        holder = make_thread(0)
+        mon.try_acquire(holder)
+        assert mon.highest_queued_priority() == -1
+        mon.enqueue(make_thread(1, priority=4))
+        mon.enqueue(make_thread(2, priority=8))
+        assert mon.highest_queued_priority() == 8
+
+    def test_remove_from_queue(self, mon):
+        holder, w = make_thread(0), make_thread(1)
+        mon.try_acquire(holder)
+        mon.enqueue(w)
+        mon.remove_from_queue(w)
+        assert mon.release(holder) is None
+
+
+class TestWaitSets:
+    def test_wait_release_drops_all_levels(self, mon):
+        t = make_thread(1)
+        mon.try_acquire(t)
+        mon.try_acquire(t)
+        mon.try_acquire(t)
+        saved, handed = mon.wait_release(t)
+        assert saved == 3
+        assert handed is None
+        assert mon.owner is None
+
+    def test_wait_release_hands_off(self, mon):
+        t, w = make_thread(1), make_thread(2)
+        mon.try_acquire(t)
+        mon.enqueue(w)
+        saved, handed = mon.wait_release(t)
+        assert saved == 1 and handed is w
+
+    def test_wait_release_requires_ownership(self, mon):
+        with pytest.raises(GuestRuntimeError):
+            mon.wait_release(make_thread(1))
+
+    def test_notify_fifo(self, mon):
+        a, b = make_thread(1), make_thread(2)
+        mon.add_waiter(a, 1)
+        mon.add_waiter(b, 2)
+        thread, saved = mon.notify_one()
+        assert thread is a and saved == 1
+
+    def test_notify_empty(self, mon):
+        assert mon.notify_one() is None
+
+    def test_notify_all_drains(self, mon):
+        mon.add_waiter(make_thread(1), 1)
+        mon.add_waiter(make_thread(2), 1)
+        assert len(mon.notify_all()) == 2
+        assert mon.notify_all() == []
+
+    def test_remove_waiter_returns_saved_count(self, mon):
+        t = make_thread(1)
+        mon.add_waiter(t, 3)
+        assert mon.remove_waiter(t) == 3
+        assert mon.remove_waiter(t) is None
+
+    def test_handoff_restores_wait_count(self, mon):
+        """A thread that waited with recursion 3 reacquires at count 3."""
+        t, w = make_thread(1), make_thread(2)
+        mon.try_acquire(w)
+        mon.enqueue(t, count_on_acquire=3)
+        assert mon.release(w) is t
+        assert mon.count == 3

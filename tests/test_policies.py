@@ -1,0 +1,233 @@
+"""Tests for the classical baselines (paper §5): priority inheritance and
+priority ceiling, plus cross-policy comparisons on the §1 scenario."""
+
+import pytest
+
+from repro import Asm, VMOptions
+from repro.bench.workloads import build_medium_inversion
+from repro.core.policies import make_support, set_ceiling
+from repro.vm.vmcore import JVM
+
+from conftest import build_class, make_vm
+
+
+def make_priority_vm(mode, **opts):
+    return make_vm(mode, scheduler="priority", **opts)
+
+
+def medium_inversion_elapsed(mode, scheduler="priority", **opts):
+    """Run the §1 scenario; return the high-priority thread's elapsed."""
+    workload = build_medium_inversion(medium_threads=4)
+    vm = make_vm(mode, scheduler=scheduler, **opts)
+    workload.install(vm)
+    vm.run()
+    return vm.thread_named("high").elapsed(), vm
+
+
+class TestSupportFactory:
+    @pytest.mark.parametrize("mode,name", [
+        ("unmodified", "unmodified"),
+        ("rollback", "rollback"),
+        ("inheritance", "inheritance"),
+        ("ceiling", "ceiling"),
+    ])
+    def test_factory(self, mode, name):
+        assert make_support(mode).name == name
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError):
+            make_support("weird")
+        with pytest.raises(ValueError):
+            JVM(VMOptions(mode="weird"))
+
+
+class TestInheritance:
+    def _blocked_holder_vm(self):
+        """low holds the lock; high blocks on it mid-section."""
+        low = Asm("low", argc=0)
+        low.getstatic("T", "lock")
+        with low.sync():
+            i = low.local()
+            low.for_range(i, lambda: low.const(6_000), lambda:
+                          low.const(0).pop())
+        low.ret()
+
+        high = Asm("high", argc=0)
+        high.const(3_000).sleep()
+        high.getstatic("T", "lock")
+        with high.sync():
+            high.const(0).pop()
+        high.ret()
+        return build_class("T", ["lock:ref"], [low, high])
+
+    def test_holder_inherits_blocker_priority(self):
+        cls = self._blocked_holder_vm()
+        vm = make_priority_vm("inheritance")
+        vm.load(cls)
+        vm.set_static("T", "lock", vm.new_object("T"))
+        low_t = vm.spawn("T", "low", priority=1, name="low")
+        vm.spawn("T", "high", priority=10, name="high")
+
+        seen = []
+
+        # sample the low thread's effective priority whenever high blocks
+        orig = vm.support.on_contended_acquire
+
+        def probe(thread, monitor):
+            result = orig(thread, monitor)
+            seen.append(monitor.owner.effective_priority)
+            return result
+
+        vm.support.on_contended_acquire = probe
+        vm.run()
+        assert seen and max(seen) == 10  # donation happened
+        assert low_t.inherited_priority == -1  # dropped after release
+        assert vm.metrics()["support"]["priority_donations"] >= 1
+
+    def test_transitive_donation(self):
+        """high blocks on B held by mid, mid blocks on A held by low ->
+        low inherits HIGH's priority through the chain."""
+        t_a = Asm("hold_a", argc=0)
+        t_a.getstatic("T", "a")
+        with t_a.sync():
+            i = t_a.local()
+            t_a.for_range(i, lambda: t_a.const(10_000), lambda:
+                          t_a.const(0).pop())
+            t_a.getstatic("T", "low_peak")
+            t_a.pop()
+        t_a.ret()
+
+        t_b = Asm("hold_b", argc=0)
+        t_b.const(2_000).sleep()
+        t_b.getstatic("T", "b")
+        with t_b.sync():
+            t_b.getstatic("T", "a")
+            with t_b.sync():
+                t_b.const(0).pop()
+        t_b.ret()
+
+        t_c = Asm("want_b", argc=0)
+        t_c.const(5_000).sleep()
+        t_c.getstatic("T", "b")
+        with t_c.sync():
+            t_c.const(0).pop()
+        t_c.ret()
+
+        cls = build_class("T", ["a:ref", "b:ref", "low_peak:int"],
+                          [t_a, t_b, t_c])
+        vm = make_priority_vm("inheritance")
+        vm.load(cls)
+        vm.set_static("T", "a", vm.new_object("T"))
+        vm.set_static("T", "b", vm.new_object("T"))
+        low = vm.spawn("T", "hold_a", priority=1, name="low")
+        vm.spawn("T", "hold_b", priority=5, name="mid")
+        vm.spawn("T", "want_b", priority=10, name="high")
+
+        peaks = {"low": 0}
+        orig = vm.support.on_contended_acquire
+
+        def probe(thread, monitor):
+            result = orig(thread, monitor)
+            peaks["low"] = max(peaks["low"], low.effective_priority)
+            return result
+
+        vm.support.on_contended_acquire = probe
+        vm.run()
+        assert peaks["low"] == 10  # transitively inherited from high
+
+    def test_inheritance_bounds_inversion(self):
+        """The §1 medium-thread scenario: inheritance lets the low holder
+        outrun the medium threads, bounding the high thread's wait."""
+        with_inh, _ = medium_inversion_elapsed("inheritance")
+        without, _ = medium_inversion_elapsed("unmodified")
+        assert with_inh < without
+
+
+class TestCeiling:
+    def test_boost_applied_and_dropped(self):
+        run = Asm("run", argc=0)
+        run.getstatic("T", "lock")
+        with run.sync():
+            i = run.local()
+            run.for_range(i, lambda: run.const(3_000), lambda:
+                          run.const(0).pop())
+        run.ret()
+        cls = build_class("T", ["lock:ref"], [run])
+        vm = make_priority_vm("ceiling")
+        vm.load(cls)
+        lock = vm.new_object("T")
+        vm.set_static("T", "lock", lock)
+        set_ceiling(lock, 9)
+        t = vm.spawn("T", "run", priority=2, name="t")
+        vm.run()
+        assert vm.metrics()["support"]["ceiling_boosts"] >= 1
+        assert t.ceiling_boost == -1  # dropped at release
+
+    def test_default_ceiling_is_max_spawned_priority(self):
+        run = Asm("run", argc=0)
+        run.getstatic("T", "lock")
+        with run.sync():
+            run.const(0).pop()
+        run.ret()
+        cls = build_class("T", ["lock:ref"], [run])
+        vm = make_priority_vm("ceiling")
+        vm.load(cls)
+        vm.set_static("T", "lock", vm.new_object("T"))
+        vm.spawn("T", "run", priority=2, name="a")
+        vm.spawn("T", "run", priority=8, name="b")
+        boosts = []
+        orig = vm.support.on_monitor_entered
+
+        def probe(thread, monitor, frame, sync_id, recursive):
+            r = orig(thread, monitor, frame, sync_id, recursive)
+            boosts.append(thread.ceiling_boost)
+            return r
+
+        vm.support.on_monitor_entered = probe
+        vm.run()
+        assert max(boosts) == 8
+
+    def test_ceiling_prevents_inversion_preemption(self):
+        """With ceiling = max priority, the low holder cannot be preempted
+        by medium threads while inside the section (the §1 scenario is
+        avoided a priori)."""
+        with_ceiling, _ = medium_inversion_elapsed("ceiling")
+        without, _ = medium_inversion_elapsed("unmodified")
+        assert with_ceiling < without
+
+
+class TestCrossPolicyComparison:
+    def test_rollback_beats_blocking_for_high_priority(self):
+        """The paper's headline, on the §1 scenario under round-robin."""
+        rollback, vm = medium_inversion_elapsed(
+            "rollback", scheduler="round-robin"
+        )
+        blocking, _ = medium_inversion_elapsed(
+            "unmodified", scheduler="round-robin"
+        )
+        assert vm.metrics()["support"]["revocations_completed"] >= 1
+        assert rollback < blocking
+
+    def test_all_policies_produce_same_final_state(self):
+        """Every policy is transparent: the commutative part of the state
+        (the spin counter) is identical, and the shared array always holds
+        one of the two serializable outcomes (whichever locked thread
+        finished last) — never a corrupted mix of both."""
+        # valid final arrays: all cells written by the low thread's last
+        # pass (iters < 2000), or by the high thread's (iters < 200)
+        def final_pattern(iters):
+            return [
+                max(i for i in range(iters) if i % 16 == k)
+                for k in range(16)
+            ]
+
+        valid = (final_pattern(2_000), final_pattern(200))
+        for mode in ("unmodified", "rollback", "inheritance", "ceiling"):
+            workload = build_medium_inversion(medium_threads=2)
+            vm = make_vm(mode, scheduler="priority" if mode in
+                         ("inheritance", "ceiling") else "round-robin")
+            workload.install(vm)
+            vm.run()
+            assert vm.get_static("Inversion", "spin") == 2 * 4_000, mode
+            data = vm.get_static("Inversion", "data").snapshot()
+            assert data in valid, f"{mode} produced a non-serializable mix"

@@ -1,0 +1,195 @@
+"""Scheduler tests: round-robin fairness, priority preemption, stall
+detection, sleep bookkeeping."""
+
+import pytest
+
+from repro import Asm, DeadlockError
+
+from conftest import build_class, make_vm
+
+
+def _timed_loop_method():
+    """run(is_high): spin 3000 iterations, then record the finish time in
+    high_end or low_end depending on the argument."""
+    run = Asm("run", argc=1)
+    i = run.local()
+    run.for_range(i, lambda: run.const(3_000), lambda: run.const(0).pop())
+    run.time()
+    run.if_then(
+        lambda: run.load(0),
+        lambda: run.putstatic("T", "high_end"),
+        lambda: run.putstatic("T", "low_end"),
+    )
+    run.ret()
+    return run
+
+
+class TestRoundRobin:
+    def test_round_robin_ignores_priority(self):
+        """The Jikes scheduler the paper uses is priority-blind: a
+        low-priority CPU hog is not starved by a high-priority one."""
+        run = _timed_loop_method()
+        vm = make_vm(scheduler="round-robin")
+        vm.load(build_class("T", ["low_end:int", "high_end:int"], [run]))
+        vm.spawn("T", "run", args=[0], priority=1, name="low")
+        vm.spawn("T", "run", args=[1], priority=10, name="high")
+        vm.run()
+        low_end = vm.get_static("T", "low_end")
+        high_end = vm.get_static("T", "high_end")
+        # round robin: both finish around the same time (within a couple of
+        # quanta), rather than low waiting for high to finish entirely
+        assert abs(low_end - high_end) < vm.cost_model.quantum * 4
+
+    def test_slices_and_switches_counted(self):
+        run = Asm("run", argc=0)
+        i = run.local()
+        run.for_range(i, lambda: run.const(5_000), lambda:
+                      run.const(0).pop())
+        run.ret()
+        vm = make_vm()
+        vm.load(build_class("T", [], [run]))
+        vm.spawn("T", "run", name="a")
+        vm.spawn("T", "run", name="b")
+        vm.run()
+        assert vm.scheduler.slices > 2
+        assert vm.scheduler.context_switches >= 2
+
+    def test_context_switch_costs_charged(self):
+        def elapsed(threads):
+            run = Asm("run", argc=0)
+            i = run.local()
+            run.for_range(i, lambda: run.const(4_000), lambda:
+                          run.const(0).pop())
+            run.ret()
+            vm = make_vm()
+            vm.load(build_class("T", [], [run]))
+            for k in range(threads):
+                vm.spawn("T", "run", name=f"t{k}")
+            vm.run()
+            return vm.clock.now, vm.scheduler.context_switches
+
+        one, sw1 = elapsed(1)
+        two, sw2 = elapsed(2)
+        assert sw2 > sw1
+        # two threads do twice the work plus the context-switch overhead
+        assert two > 2 * one
+
+
+class TestPriorityScheduler:
+    def test_strict_priority_runs_high_first(self):
+        """Under the strict scheduler, the high-priority thread finishes
+        before the low one even when spawned second."""
+        run = _timed_loop_method()
+        vm = make_vm(scheduler="priority")
+        vm.load(build_class("T", ["low_end:int", "high_end:int"], [run]))
+        vm.spawn("T", "run", args=[0], priority=1, name="low")
+        vm.spawn("T", "run", args=[1], priority=10, name="high")
+        vm.run()
+        assert vm.get_static("T", "high_end") < vm.get_static("T", "low_end")
+
+    def test_preemption_when_higher_wakes(self):
+        """A sleeping high-priority thread preempts the low one at its next
+        yield point when it wakes."""
+        low = Asm("low", argc=0)
+        i = low.local()
+        low.for_range(i, lambda: low.const(20_000), lambda:
+                      low.const(0).pop())
+        low.time().putstatic("T", "low_end")
+        low.ret()
+
+        high = Asm("high", argc=0)
+        high.const(3_000).sleep()
+        high.time().putstatic("T", "high_end")
+        high.ret()
+
+        vm = make_vm(scheduler="priority")
+        vm.load(build_class("T", ["low_end:int", "high_end:int"],
+                            [low, high]))
+        vm.spawn("T", "low", priority=1, name="low")
+        vm.spawn("T", "high", priority=10, name="high")
+        vm.run()
+        assert vm.get_static("T", "high_end") < vm.get_static("T", "low_end")
+
+    def test_fifo_within_level(self):
+        order: list[str] = []
+
+        def recorder(vm_, thread, args):
+            order.append(thread.name)
+            return None
+
+        run = Asm("run", argc=0)
+        run.native("mark", 0)
+        run.ret()
+        vm = make_vm(scheduler="priority")
+        vm.register_native("mark", recorder)
+        vm.load(build_class("T", [], [run]))
+        for k in range(3):
+            vm.spawn("T", "run", priority=5, name=f"t{k}")
+        vm.run()
+        assert order == ["t0", "t1", "t2"]
+
+
+class TestStallDetection:
+    def test_pure_wait_stall_raises(self):
+        """A thread waiting with nobody to notify is a stall, not a hang."""
+        run = Asm("run", argc=0)
+        run.getstatic("T", "lock")
+        with run.sync():
+            run.getstatic("T", "lock").wait_()
+        run.ret()
+        vm = make_vm()
+        vm.load(build_class("T", ["lock:ref"], [run]))
+        vm.set_static("T", "lock", vm.new_object("T"))
+        vm.spawn("T", "run", name="a")
+        with pytest.raises(DeadlockError, match="stall"):
+            vm.run()
+
+    def test_timed_wait_is_not_a_stall(self):
+        run = Asm("run", argc=0)
+        run.getstatic("T", "lock")
+        with run.sync():
+            run.getstatic("T", "lock").const(5_000).timed_wait()
+        run.ret()
+        vm = make_vm()
+        vm.load(build_class("T", ["lock:ref"], [run]))
+        vm.set_static("T", "lock", vm.new_object("T"))
+        vm.spawn("T", "run", name="a")
+        vm.run()  # completes via timeout
+
+    def test_empty_vm_runs_to_completion(self):
+        vm = make_vm()
+        vm.run()
+        assert vm.clock.now == 0
+
+
+class TestSleepers:
+    def test_sleepers_wake_in_time_order(self):
+        order: list[str] = []
+
+        def recorder(vm_, thread, args):
+            order.append(thread.name)
+            return None
+
+        run = Asm("run", argc=1)
+        run.load(0).sleep()
+        run.native("mark", 0)
+        run.ret()
+        vm = make_vm()
+        vm.register_native("mark", recorder)
+        vm.load(build_class("T", [], [run]))
+        vm.spawn("T", "run", args=[30_000], name="late")
+        vm.spawn("T", "run", args=[10_000], name="early")
+        vm.run()
+        assert order == ["early", "late"]
+
+    def test_start_time_recorded_at_first_schedule(self):
+        run = Asm("run", argc=0)
+        run.ret()
+        vm = make_vm()
+        vm.load(build_class("T", [], [run]))
+        t = vm.spawn("T", "run", name="a")
+        assert t.start_time is None
+        vm.run()
+        assert t.start_time is not None
+        assert t.end_time >= t.start_time
+        assert t.elapsed() == t.end_time - t.start_time

@@ -1,0 +1,74 @@
+"""Tests for the trace-timeline renderer."""
+
+from repro import Asm
+from repro.vm.timeline import render_timeline
+
+from conftest import build_class, make_vm
+
+
+def inversion_vm():
+    run = Asm("run", argc=2)  # (iters, delay)
+    run.load(1).sleep()
+    run.getstatic("T", "lock")
+    with run.sync():
+        i = run.local()
+        run.for_range(i, lambda: run.load(0), lambda: (
+            run.getstatic("T", "counter"), run.const(1), run.add(),
+            run.putstatic("T", "counter"),
+        ))
+    run.ret()
+    cls = build_class("T", ["lock:ref", "counter:int"], [run])
+    vm = make_vm("rollback", seed=3)
+    vm.load(cls)
+    vm.set_static("T", "lock", vm.new_object("T"))
+    vm.spawn("T", "run", args=[2_000, 1], priority=1, name="low")
+    vm.spawn("T", "run", args=[60, 6_000], priority=10, name="high")
+    vm.run()
+    return vm
+
+
+class TestRenderTimeline:
+    def test_rows_per_thread(self):
+        vm = inversion_vm()
+        out = render_timeline(vm)
+        assert "low" in out and "high" in out
+        assert "legend:" in out
+
+    def test_rollback_marker_present(self):
+        vm = inversion_vm()
+        assert vm.metrics()["support"]["revocations_completed"] >= 1
+        out = render_timeline(vm)
+        low_row = next(line for line in out.splitlines()
+                       if line.strip().startswith("low"))
+        assert "R" in low_row
+
+    def test_section_and_block_glyphs(self):
+        vm = inversion_vm()
+        out = render_timeline(vm)
+        low_row = next(line for line in out.splitlines()
+                       if line.strip().startswith("low"))
+        high_row = next(line for line in out.splitlines()
+                        if line.strip().startswith("high"))
+        assert "#" in low_row    # held the section
+        assert "#" in high_row
+        assert "-" in low_row or "-" in high_row  # someone blocked
+
+    def test_window_restriction(self):
+        vm = inversion_vm()
+        out = render_timeline(vm, start=0, end=100, width=20)
+        assert "0 .. 100" in out
+
+    def test_untraced_vm_message(self):
+        from repro.vm.vmcore import JVM, VMOptions
+
+        vm = JVM(VMOptions())
+        vm.run()
+        assert "no trace events" in render_timeline(vm)
+
+    def test_width_respected(self):
+        vm = inversion_vm()
+        out = render_timeline(vm, width=30)
+        rows = [line for line in out.splitlines() if line.endswith("|")]
+        for row in rows:
+            bar = row.split("|")[1]
+            assert len(bar) == 30

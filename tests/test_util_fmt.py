@@ -1,0 +1,63 @@
+"""Unit tests for the text table/chart renderers."""
+
+import pytest
+
+from repro.util.fmt import ascii_chart, format_table
+
+
+class TestFormatTable:
+    def test_alignment_and_rule(self):
+        out = format_table(["name", "value"], [["x", 1], ["long-name", 22]])
+        lines = out.splitlines()
+        assert lines[0].startswith("name")
+        assert set(lines[1]) <= {"-", " "}
+        widths = {len(line) for line in lines}
+        assert len(widths) <= 2  # header may be rstripped
+
+    def test_float_formatting(self):
+        out = format_table(["v"], [[1.23456]])
+        assert "1.235" in out
+
+    def test_custom_float_format(self):
+        out = format_table(["v"], [[1.23456]], float_fmt="{:.1f}")
+        assert "1.2" in out
+
+    def test_row_width_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_empty_rows(self):
+        out = format_table(["a"], [])
+        assert "a" in out
+
+
+class TestAsciiChart:
+    def test_contains_series_glyphs_and_legend(self):
+        out = ascii_chart(
+            [0, 1, 2],
+            {"up": [0.0, 1.0, 2.0], "down": [2.0, 1.0, 0.0]},
+            title="t",
+        )
+        assert "t" in out
+        assert "* up" in out and "o down" in out
+        assert out.count("*") >= 3  # legend + plotted points
+
+    def test_collision_marker(self):
+        out = ascii_chart([0, 1], {"a": [1.0, 1.0], "b": [1.0, 2.0]})
+        assert "#" in out
+
+    def test_flat_series_does_not_divide_by_zero(self):
+        out = ascii_chart([0, 1], {"flat": [3.0, 3.0]})
+        assert "flat" in out
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            ascii_chart([0, 1], {"a": [1.0]})
+
+    def test_empty_x_raises(self):
+        with pytest.raises(ValueError):
+            ascii_chart([], {"a": []})
+
+    def test_y_label(self):
+        out = ascii_chart([0, 1], {"a": [0.0, 1.0]}, y_label="cycles")
+        assert "cycles" in out

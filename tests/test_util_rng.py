@@ -1,0 +1,112 @@
+"""Unit tests for the deterministic RNG."""
+
+import math
+
+import pytest
+
+from repro.util.rng import DeterministicRng, derive_seed
+
+
+class TestDeterminism:
+    def test_same_seed_same_sequence(self):
+        a = DeterministicRng(123)
+        b = DeterministicRng(123)
+        assert [a.next_u64() for _ in range(50)] == [
+            b.next_u64() for _ in range(50)
+        ]
+
+    def test_different_seeds_differ(self):
+        a = DeterministicRng(1)
+        b = DeterministicRng(2)
+        assert [a.next_u64() for _ in range(8)] != [
+            b.next_u64() for _ in range(8)
+        ]
+
+    def test_zero_seed_is_usable(self):
+        rng = DeterministicRng(0)
+        assert rng.next_u64() != rng.next_u64()
+
+    def test_state_snapshot_roundtrip(self):
+        rng = DeterministicRng(7)
+        rng.next_u64()
+        state = rng.getstate()
+        first = [rng.next_u64() for _ in range(5)]
+        rng.setstate(state)
+        assert [rng.next_u64() for _ in range(5)] == first
+
+
+class TestDraws:
+    def test_randint_bounds(self):
+        rng = DeterministicRng(9)
+        draws = [rng.randint(3, 9) for _ in range(500)]
+        assert min(draws) >= 3 and max(draws) <= 9
+        assert set(draws) == set(range(3, 10))  # all values reachable
+
+    def test_randint_single_value(self):
+        rng = DeterministicRng(9)
+        assert rng.randint(4, 4) == 4
+
+    def test_randint_empty_range_raises(self):
+        with pytest.raises(ValueError):
+            DeterministicRng(1).randint(5, 4)
+
+    def test_random_in_unit_interval(self):
+        rng = DeterministicRng(11)
+        draws = [rng.random() for _ in range(1000)]
+        assert all(0.0 <= x < 1.0 for x in draws)
+        assert abs(sum(draws) / len(draws) - 0.5) < 0.05
+
+    def test_choice(self):
+        rng = DeterministicRng(13)
+        seq = ["a", "b", "c"]
+        assert set(rng.choice(seq) for _ in range(100)) == {"a", "b", "c"}
+
+    def test_choice_empty_raises(self):
+        with pytest.raises(ValueError):
+            DeterministicRng(1).choice([])
+
+    def test_shuffle_is_permutation(self):
+        rng = DeterministicRng(17)
+        xs = list(range(20))
+        ys = list(xs)
+        rng.shuffle(ys)
+        assert sorted(ys) == xs
+        assert ys != xs  # overwhelmingly likely with 20 elements
+
+    def test_exponential_mean(self):
+        rng = DeterministicRng(19)
+        draws = [rng.exponential(100.0) for _ in range(5000)]
+        assert all(d >= 0 for d in draws)
+        assert math.isclose(sum(draws) / len(draws), 100.0, rel_tol=0.1)
+
+    def test_exponential_rejects_nonpositive_mean(self):
+        with pytest.raises(ValueError):
+            DeterministicRng(1).exponential(0)
+
+
+class TestDerivation:
+    def test_derive_is_deterministic(self):
+        assert derive_seed(42, "thread", 3) == derive_seed(42, "thread", 3)
+
+    def test_derive_depends_on_path(self):
+        seeds = {
+            derive_seed(42),
+            derive_seed(42, "thread", 3),
+            derive_seed(42, "thread", 4),
+            derive_seed(42, "rep", 3),
+            derive_seed(43, "thread", 3),
+        }
+        assert len(seeds) == 5
+
+    def test_derive_order_sensitive(self):
+        assert derive_seed(1, "a", "b") != derive_seed(1, "b", "a")
+
+    def test_spawn_creates_independent_stream(self):
+        parent = DeterministicRng(5)
+        child = parent.spawn("x")
+        parent_draws = [parent.next_u64() for _ in range(4)]
+        child_draws = [child.next_u64() for _ in range(4)]
+        assert parent_draws != child_draws
+        # respawning yields the same child stream
+        child2 = DeterministicRng(5).spawn("x")
+        assert [child2.next_u64() for _ in range(4)] == child_draws

@@ -1,0 +1,85 @@
+"""Unit tests for the statistics helpers (paper §4.1 methodology)."""
+
+import math
+
+import pytest
+
+from repro.util.stats import (
+    confidence_interval,
+    geometric_mean,
+    normalize_series,
+    summarize,
+)
+
+
+class TestSummarize:
+    def test_mean_and_bounds(self):
+        s = summarize([1.0, 2.0, 3.0, 4.0, 5.0])
+        assert s.n == 5
+        assert s.mean == pytest.approx(3.0)
+        assert s.minimum == 1.0 and s.maximum == 5.0
+
+    def test_stdev_matches_textbook(self):
+        s = summarize([2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0])
+        assert s.stdev == pytest.approx(2.138, abs=1e-3)
+
+    def test_single_sample_has_zero_interval(self):
+        s = summarize([42.0])
+        assert s.mean == 42.0
+        assert s.ci_halfwidth == 0.0
+
+    def test_empty_sample_raises(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+    def test_ci_contains_mean(self):
+        s = summarize([10.0, 12.0, 9.0, 11.0, 13.0])
+        assert s.ci_low < s.mean < s.ci_high
+        assert s.ci_high - s.mean == pytest.approx(s.ci_halfwidth)
+
+    def test_ci_90_matches_t_table(self):
+        # n=5, dof=4 -> t = 2.132; stdev of [1..5] = sqrt(2.5)
+        s = summarize([1.0, 2.0, 3.0, 4.0, 5.0], confidence=0.90)
+        expected = 2.132 * math.sqrt(2.5) / math.sqrt(5)
+        assert s.ci_halfwidth == pytest.approx(expected, rel=1e-3)
+
+    def test_constant_sample(self):
+        s = summarize([7.0] * 10)
+        assert s.stdev == 0.0
+        assert s.ci_halfwidth == 0.0
+
+    def test_interval_shrinks_with_n(self):
+        narrow = summarize([1.0, 2.0] * 50)
+        wide = summarize([1.0, 2.0] * 2)
+        assert narrow.ci_halfwidth < wide.ci_halfwidth
+
+    def test_str_rendering(self):
+        assert "n=3" in str(summarize([1.0, 2.0, 3.0]))
+
+
+class TestConfidenceInterval:
+    def test_returns_low_high(self):
+        lo, hi = confidence_interval([5.0, 6.0, 7.0])
+        assert lo < 6.0 < hi
+
+
+class TestGeometricMean:
+    def test_known_value(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            geometric_mean([])
+
+
+class TestNormalize:
+    def test_divides_by_baseline(self):
+        assert normalize_series([2.0, 4.0], 2.0) == [1.0, 2.0]
+
+    def test_zero_baseline_raises(self):
+        with pytest.raises(ValueError):
+            normalize_series([1.0], 0.0)

@@ -1,0 +1,78 @@
+"""Unit tests for the guest value model."""
+
+import pytest
+
+from repro.vm.classfile import ClassDef
+from repro.vm.heap import VMArray, VMObject
+from repro.vm.values import NULL, default_value, is_reference, kind_of, truthy
+
+
+class TestNull:
+    def test_singleton(self):
+        from repro.vm.values import _Null
+
+        assert _Null() is NULL
+
+    def test_falsy(self):
+        assert not NULL
+        assert not truthy(NULL)
+
+    def test_repr(self):
+        assert repr(NULL) == "null"
+
+    def test_is_not_python_none(self):
+        assert NULL is not None
+
+
+class TestTruthy:
+    @pytest.mark.parametrize("value,expected", [
+        (0, False), (1, True), (-1, True),
+        (0.0, False), (0.5, True),
+        ("", False), ("x", True),
+    ])
+    def test_scalars(self, value, expected):
+        assert truthy(value) is expected
+
+    def test_references_are_truthy(self):
+        obj = VMObject(1, ClassDef("C"))
+        assert truthy(obj)
+
+
+class TestDefaults:
+    @pytest.mark.parametrize("kind,expected", [
+        ("int", 0), ("float", 0.0), ("ref", NULL), ("str", ""),
+    ])
+    def test_defaults(self, kind, expected):
+        assert default_value(kind) == expected or (
+            expected is NULL and default_value(kind) is NULL
+        )
+
+    def test_unknown_kind_raises(self):
+        with pytest.raises(ValueError):
+            default_value("long")
+
+
+class TestClassification:
+    def test_is_reference(self):
+        assert is_reference(NULL)
+        assert is_reference(VMObject(1, ClassDef("C")))
+        assert is_reference(VMArray(2, 3))
+        assert not is_reference(5)
+        assert not is_reference("s")
+
+    def test_kind_of(self):
+        assert kind_of(1) == "int"
+        assert kind_of(True) == "int"  # guest booleans are ints
+        assert kind_of(1.5) == "float"
+        assert kind_of(NULL) == "ref"
+        assert kind_of(VMArray(1, 0)) == "ref"
+        assert kind_of("s") == "str"
+
+    def test_kind_of_rejects_host_objects(self):
+        with pytest.raises(TypeError):
+            kind_of(object())
+
+    def test_kind_of_rejects_none(self):
+        # Host None leaking into guest state must be caught loudly.
+        with pytest.raises(TypeError):
+            kind_of(None)
