@@ -41,6 +41,7 @@ Quickstart::
 from repro.errors import (
     DeadlockError,
     GuestRuntimeError,
+    InvariantViolation,
     LinkError,
     ReproError,
     StarvationError,
@@ -49,6 +50,7 @@ from repro.errors import (
     VerifyError,
     VMStateError,
 )
+from repro.faults import FaultPlan
 from repro.vm import (
     Asm,
     Inspector,
@@ -91,6 +93,7 @@ __all__ = [
     # errors
     "DeadlockError",
     "GuestRuntimeError",
+    "InvariantViolation",
     "LinkError",
     "ReproError",
     "StarvationError",
@@ -98,6 +101,8 @@ __all__ = [
     "UncaughtGuestException",
     "VerifyError",
     "VMStateError",
+    # faults
+    "FaultPlan",
     # vm
     "Asm",
     "Inspector",

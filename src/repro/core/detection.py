@@ -79,14 +79,9 @@ class InversionDetector:
                 "revocation_denied", thread, holder=holder, reason="cost"
             )
             return
-        now = support.vm.clock.now
-        if now < holder.grace_until:
-            support.metrics.revocations_denied_grace += 1
-            support.vm.trace(
-                "revocation_denied", thread, holder=holder, reason="grace"
-            )
-            return
-        self._post_request(holder, target, requester=thread)
+        # Grace windows, per-site backoff, and the degradation ladder all
+        # live behind the support's single posting chokepoint.
+        support.request_revocation(holder, target, requester=thread)
 
     @staticmethod
     def _target_section(
@@ -102,35 +97,3 @@ class InversionDetector:
             return target
         # Fallback (first_section is cleared on release): walk the stack.
         return holder.section_for_monitor(monitor)
-
-    def _post_request(
-        self,
-        holder: "VMThread",
-        target: Section,
-        requester: "VMThread",
-    ) -> None:
-        support = self.support
-        current = holder.revocation_request
-        if current is not None:
-            # Keep the outermost pending target: rolling back an outer
-            # section subsumes any inner one.
-            if current is target:
-                return
-            try:
-                if holder.sections.index(current) <= holder.sections.index(
-                    target
-                ):
-                    return
-            except ValueError:
-                pass  # stale request; replace it
-        holder.revocation_request = target
-        support.metrics.revocation_requests += 1
-        support.vm.trace(
-            "revocation_request",
-            requester,
-            holder=holder,
-            section=repr(target),
-        )
-        # A blocked or sleeping holder never reaches a yield point on its
-        # own; wake it so the rollback can proceed.
-        support.vm.scheduler.wake_for_revocation(holder)

@@ -33,9 +33,20 @@ class SupportMetrics:
     nonrevocable_native: int = 0
     nonrevocable_wait: int = 0
     nonrevocable_dependency: int = 0
+    nonrevocable_degraded: int = 0
     deadlocks_resolved: int = 0
     priority_donations: int = 0
     ceiling_boosts: int = 0
+    # robustness plane: retry budget / backoff / degradation ladder
+    revocations_denied_degraded: int = 0
+    backoff_windows_granted: int = 0
+    degradations_to_inheritance: int = 0
+    degradations_to_nonrevocable: int = 0
+    starvations_detected: int = 0
+    sections_abandoned: int = 0
+    # post-rollback invariant auditor
+    invariant_checks: int = 0
+    invariant_violations: int = 0
 
     def as_dict(self) -> dict[str, int]:
         return asdict(self)

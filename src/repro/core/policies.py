@@ -37,6 +37,55 @@ def set_ceiling(obj, priority: int) -> None:
     monitor_of(obj).ceiling = priority
 
 
+def donate_priority(
+    vm, metrics: SupportMetrics, thread: "VMThread", monitor: "Monitor"
+) -> bool:
+    """Transitive priority donation (Sha/Rajkumar/Lehoczky).
+
+    ``thread`` is blocked on ``monitor``: the owner — and, transitively,
+    the owner of whatever *it* blocks on — inherits ``thread``'s effective
+    priority.  Shared by :class:`InheritanceSupport` and by the rollback
+    runtime's degradation ladder, whose *inheritance* rung donates instead
+    of revoking.  Returns True when any donation occurred.
+    """
+    donor_priority = thread.effective_priority
+    mon: Optional[Monitor] = monitor
+    seen: set[int] = set()
+    donated = False
+    while mon is not None and mon.owner is not None:
+        owner = mon.owner
+        if owner.tid in seen:
+            break  # wait-for cycle: inheritance cannot help a deadlock
+        seen.add(owner.tid)
+        if owner.effective_priority < donor_priority:
+            owner.inherited_priority = donor_priority
+            metrics.priority_donations += 1
+            donated = True
+            vm.scheduler.on_priority_changed(owner)
+            for held in owner.held_monitors:
+                held.refresh_deposited()
+            vm.trace(
+                "inherit", owner, from_=thread, priority=donor_priority
+            )
+        mon = owner.blocked_on
+    return donated
+
+
+def recompute_inheritance(vm, thread: "VMThread") -> None:
+    """Inherited priority = highest priority still waiting on any monitor
+    the thread holds (recomputed after every release)."""
+    best = -1
+    for mon in thread.held_monitors:
+        q = mon.highest_queued_priority()
+        if q > best:
+            best = q
+    if thread.inherited_priority != best:
+        thread.inherited_priority = best
+        vm.scheduler.on_priority_changed(thread)
+        for held in thread.held_monitors:
+            held.refresh_deposited()
+
+
 class InheritanceSupport(RuntimeSupport):
     """Transitive priority inheritance.
 
@@ -55,22 +104,7 @@ class InheritanceSupport(RuntimeSupport):
     def on_contended_acquire(
         self, thread: "VMThread", monitor: "Monitor"
     ) -> int:
-        donor_priority = thread.effective_priority
-        mon: Optional[Monitor] = monitor
-        seen: set[int] = set()
-        while mon is not None and mon.owner is not None:
-            owner = mon.owner
-            if owner.tid in seen:
-                break  # wait-for cycle: inheritance cannot help a deadlock
-            seen.add(owner.tid)
-            if owner.effective_priority < donor_priority:
-                owner.inherited_priority = donor_priority
-                self.metrics.priority_donations += 1
-                self.vm.scheduler.on_priority_changed(owner)
-                self.vm.trace(
-                    "inherit", owner, from_=thread, priority=donor_priority
-                )
-            mon = owner.blocked_on
+        donate_priority(self.vm, self.metrics, thread, monitor)
         return 0
 
     def on_handoff(
@@ -79,22 +113,10 @@ class InheritanceSupport(RuntimeSupport):
         monitor: "Monitor",
         new_owner: Optional["VMThread"],
     ) -> int:
-        self._recompute(releaser)
+        recompute_inheritance(self.vm, releaser)
         if new_owner is not None:
-            self._recompute(new_owner)
+            recompute_inheritance(self.vm, new_owner)
         return 0
-
-    def _recompute(self, thread: "VMThread") -> None:
-        """Inherited priority = highest priority still waiting on any
-        monitor the thread holds."""
-        best = -1
-        for mon in thread.held_monitors:
-            q = mon.highest_queued_priority()
-            if q > best:
-                best = q
-        if thread.inherited_priority != best:
-            thread.inherited_priority = best
-            self.vm.scheduler.on_priority_changed(thread)
 
     def collect_metrics(self) -> dict[str, int]:
         return self.metrics.as_dict()

@@ -28,12 +28,17 @@ from repro.core.deadlock import select_victim
 from repro.core.detection import InversionDetector
 from repro.core.jmm import JmmTracker
 from repro.core.metrics import SupportMetrics
+from repro.core.policies import donate_priority, recompute_inheritance
 from repro.core.sections import (
+    LADDER_INHERITANCE,
+    LADDER_NONREVOCABLE,
+    REASON_DEGRADED,
     REASON_DEPENDENCY,
     REASON_NATIVE,
     REASON_VOLATILE,
     REASON_WAIT,
     Section,
+    SectionSite,
 )
 from repro.core.undolog import UndoLog
 from repro.errors import ReproError
@@ -58,6 +63,24 @@ class RollbackSupport(RuntimeSupport):
         self.detector = InversionDetector(self)
         #: tid -> cached tuple of active sections (hot path for logging)
         self._active_cache: dict[int, tuple[Section, ...]] = {}
+        #: (tid, sync_id) -> SectionSite; created lazily on first revocation
+        #: so the uncontended path never touches this dict
+        self._sites: dict[tuple[int, object], SectionSite] = {}
+        #: tid -> site of the thread's most recent revocation (the watchdog
+        #: degrades it when the thread has no active section to blame)
+        self._last_site: dict[int, SectionSite] = {}
+        #: donations made by the ladder's inheritance rung; on_handoff only
+        #: recomputes inherited priorities when this is non-zero
+        self._donations = 0
+        #: post-rollback invariant auditor (options.audit_rollbacks)
+        self.auditor = None
+
+    def attach(self, vm) -> None:
+        super().attach(vm)
+        if vm.options.audit_rollbacks:
+            from repro.faults.auditor import InvariantAuditor
+
+            self.auditor = InvariantAuditor(self)
 
     # -------------------------------------------------------------- helpers
     def _log(self, thread: "VMThread") -> UndoLog:
@@ -76,6 +99,14 @@ class RollbackSupport(RuntimeSupport):
 
     def _invalidate(self, thread: "VMThread") -> None:
         self._active_cache.pop(thread.tid, None)
+
+    def _site(self, thread: "VMThread", sync_id: object) -> SectionSite:
+        key = (thread.tid, sync_id)
+        site = self._sites.get(key)
+        if site is None:
+            site = SectionSite(thread.tid, sync_id)
+            self._sites[key] = site
+        return site
 
     def can_revoke(self, holder: "VMThread", target: Section) -> bool:
         """A section can be revoked iff it and every section nested inside
@@ -140,6 +171,18 @@ class RollbackSupport(RuntimeSupport):
         self.metrics.sections_entered += 1
         if recursive:
             self.metrics.sections_recursive += 1
+        elif self._sites:
+            site = self._sites.get((thread.tid, sync_id))
+            if site is not None and site.level == LADDER_NONREVOCABLE:
+                # fully degraded site: pin every execution at entry, so
+                # detection stops requesting revocations that always fail
+                if section.mark_nonrevocable(REASON_DEGRADED):
+                    self.metrics.nonrevocable_marks += 1
+                    self.metrics.nonrevocable_degraded += 1
+                    self.vm.trace(
+                        "nonrevocable", thread, section=repr(section),
+                        reason=REASON_DEGRADED,
+                    )
         return 0
 
     def on_monitor_exited(
@@ -160,6 +203,10 @@ class RollbackSupport(RuntimeSupport):
                 f"section stack mismatch in {thread.name!r}: popped "
                 f"{section!r} for exit of {sync_id!r}"
             )
+        if self._sites:
+            site = self._sites.get((thread.tid, sync_id))
+            if site is not None:
+                site.commit()
         if not thread.sections:
             # Outermost commit: updates become final; the buffer and the
             # JMM dependency records are discarded.
@@ -167,6 +214,7 @@ class RollbackSupport(RuntimeSupport):
             self.jmm.on_commit(thread, log.locations_since(0))
             log.truncate(0)
             thread.consecutive_revocations = 0
+            thread.sections_committed += 1
             self.metrics.sections_committed += 1
         return 0
 
@@ -229,12 +277,23 @@ class RollbackSupport(RuntimeSupport):
             # the log grew past the budget between request and delivery
             self.metrics.revocations_denied_cost += 1
             return None
+        plane = self.vm.fault_plane
+        if plane is not None:
+            plane.perturb_undo(self, thread, target)
         # Process the undo log in reverse, *before any lock is released*
         # (§3.1.2) — partial results never become visible to other threads.
         log = self._log(thread)
+        audit = self.auditor
+        expectation = (
+            audit.before_rollback(thread, target, log)
+            if audit is not None
+            else None
+        )
         restored = log.rollback_to(
             target.log_mark, on_undo=lambda loc: self.jmm.on_undo(thread, loc)
         )
+        if audit is not None:
+            audit.after_rollback(thread, target, log, expectation)
         cm = self.vm.cost_model
         cost = cm.rollback_base + cm.rollback_entry * restored
         self.vm.charge(thread, cost)
@@ -252,6 +311,27 @@ class RollbackSupport(RuntimeSupport):
             self.vm.trace(
                 "grace_granted", thread, until=thread.grace_until
             )
+        # Per-site retry budget and exponential backoff (robustness plane):
+        # unlike the thread-level livelock guard above — which any
+        # revocation of the thread feeds — these track one static section
+        # and survive across executions, so a single pathological hot spot
+        # degrades without penalising the thread's other sections.
+        site = self._site(thread, target.sync_id)
+        site.attempts += 1
+        site.total_revocations += 1
+        self._last_site[thread.tid] = site
+        if opts.revocation_backoff:
+            site.grace_until = self.vm.clock.now + (
+                opts.revocation_backoff << min(site.attempts - 1, 16)
+            )
+            m.backoff_windows_granted += 1
+            self.vm.trace(
+                "site_backoff", thread, sync_id=str(site.sync_id),
+                until=site.grace_until,
+            )
+        budget = opts.revocation_retry_budget
+        if budget and site.attempts >= budget:
+            self._degrade(thread, site, reason="budget")
         self.vm.trace(
             "rollback_begin", thread, section=repr(target),
             undone=restored,
@@ -297,6 +377,160 @@ class RollbackSupport(RuntimeSupport):
                 f"{thread.sections!r}"
             )
         self._invalidate(thread)
+        self._last_site.pop(thread.tid, None)
+
+    def on_section_abandoned(self, thread: "VMThread", section) -> None:
+        # Guest exception dispatch popped the section's frame without a
+        # commit or rollback (hand-written bytecode with no catch-all
+        # release handler).  The monitor was force-released with the
+        # speculative updates in place, i.e. commit semantics — so when the
+        # stack empties, finalise exactly as an outermost commit would.
+        self._invalidate(thread)
+        self.metrics.sections_abandoned += 1
+        self.vm.trace(
+            "section_abandoned", thread, section=repr(section)
+        )
+        if not thread.sections and thread.undo_log is not None:
+            log = thread.undo_log
+            self.jmm.on_commit(thread, log.locations_since(0))
+            log.truncate(0)
+
+    # ------------------------------------------------------------ robustness
+    def request_revocation(
+        self,
+        holder: "VMThread",
+        target: Section,
+        *,
+        requester: "VMThread | None" = None,
+        origin: str = "inversion",
+        force: bool = False,
+    ) -> bool:
+        """Single chokepoint for posting a revocation request on ``holder``.
+
+        Applies the robustness policies — degradation-ladder rung of the
+        target's site, per-site backoff window, thread-level livelock grace
+        — before posting; ``force`` (deadlock resolution) bypasses them.
+        Returns True when a request is pending after the call (newly posted
+        or subsumed by an outer pending one).
+        """
+        vm = self.vm
+        reporter = requester if requester is not None else holder
+        if not force:
+            site = self._sites.get((holder.tid, target.sync_id))
+            if site is not None:
+                if site.level == LADDER_NONREVOCABLE:
+                    # Normally unreachable (sections are pinned at entry),
+                    # but a site can degrade while an execution is active.
+                    self.metrics.revocations_denied_degraded += 1
+                    vm.trace(
+                        "revocation_denied", reporter, holder=holder,
+                        reason="degraded",
+                    )
+                    return False
+                if site.level == LADDER_INHERITANCE:
+                    # Degraded rung: stop throwing away the holder's work;
+                    # fall back to donating the requester's priority.
+                    self.metrics.revocations_denied_degraded += 1
+                    vm.trace(
+                        "revocation_denied", reporter, holder=holder,
+                        reason="degraded-inheritance",
+                    )
+                    if requester is not None and donate_priority(
+                        vm, self.metrics, requester, target.monitor
+                    ):
+                        self._donations += 1
+                    return False
+                if vm.clock.now < site.grace_until:
+                    self.metrics.revocations_denied_grace += 1
+                    vm.trace(
+                        "revocation_denied", reporter, holder=holder,
+                        reason="site-backoff",
+                    )
+                    return False
+            if vm.clock.now < holder.grace_until:
+                self.metrics.revocations_denied_grace += 1
+                vm.trace(
+                    "revocation_denied", reporter, holder=holder,
+                    reason="grace",
+                )
+                return False
+        current = holder.revocation_request
+        if current is not None:
+            # Keep the outermost pending target: rolling back an outer
+            # section subsumes any inner one.
+            if current is target:
+                return True
+            try:
+                if holder.sections.index(current) <= holder.sections.index(
+                    target
+                ):
+                    return True
+            except ValueError:
+                pass  # stale request; replace it
+        holder.revocation_request = target
+        self.metrics.revocation_requests += 1
+        vm.trace(
+            "revocation_request",
+            reporter,
+            holder=holder,
+            section=repr(target),
+            origin=origin,
+        )
+        # A blocked or sleeping holder never reaches a yield point on its
+        # own; wake it so the rollback can proceed.
+        vm.scheduler.wake_for_revocation(holder)
+        return True
+
+    def _degrade(
+        self, thread: "VMThread", site: SectionSite, *, reason: str
+    ) -> Optional[str]:
+        """Demote ``site`` one ladder rung; returns the new level or None
+        when the site already sits at the bottom."""
+        new_level = site.escalate(self.vm.clock.now)
+        if new_level is None:
+            return None
+        if new_level == LADDER_INHERITANCE:
+            self.metrics.degradations_to_inheritance += 1
+        else:  # LADDER_NONREVOCABLE
+            self.metrics.degradations_to_nonrevocable += 1
+            for section in thread.sections:
+                if section.sync_id == site.sync_id and not section.recursive:
+                    if section.mark_nonrevocable(REASON_DEGRADED):
+                        self.metrics.nonrevocable_marks += 1
+                        self.metrics.nonrevocable_degraded += 1
+        self.vm.trace(
+            "degrade", thread, sync_id=str(site.sync_id), level=new_level,
+            reason=reason,
+        )
+        return new_level
+
+    def on_starvation(self, thread: "VMThread") -> bool:
+        self.metrics.starvations_detected += 1
+        site: Optional[SectionSite] = None
+        for section in thread.sections:
+            if not section.recursive:
+                site = self._site(thread, section.sync_id)
+                break
+        if site is None:
+            site = self._last_site.get(thread.tid)
+        if site is None:
+            return False
+        return self._degrade(thread, site, reason="starvation") is not None
+
+    def on_handoff(
+        self,
+        releaser: "VMThread",
+        monitor: "Monitor",
+        new_owner: "VMThread | None",
+    ) -> int:
+        # Only needed once the ladder's inheritance rung has donated:
+        # released monitors must shed the donation exactly as the
+        # inheritance baseline does.
+        if self._donations:
+            recompute_inheritance(self.vm, releaser)
+            if new_owner is not None:
+                recompute_inheritance(self.vm, new_owner)
+        return 0
 
     # ------------------------------------------------------------ scheduling
     def periodic_scan(self) -> None:

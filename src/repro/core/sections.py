@@ -35,6 +35,74 @@ REASON_VOLATILE = "volatile-dependency"
 REASON_NATIVE = "native-call"
 REASON_WAIT = "wait"
 REASON_UNTRANSFORMED = "no-rollback-scope"
+REASON_DEGRADED = "degraded"
+
+#: graceful-degradation ladder, most to least optimistic.  A *site* (one
+#: static synchronized section executed by one thread) starts revocable;
+#: when its revocation retry budget is exhausted — or the starvation
+#: watchdog flags its thread — it degrades one rung at a time:
+#: revocable -> priority-inheritance (inversions donate priority instead
+#: of revoking) -> non-revocable (sections are pinned at entry, trading
+#: the paper's mechanism away entirely for guaranteed forward progress).
+LADDER_REVOCABLE = "revocable"
+LADDER_INHERITANCE = "inheritance"
+LADDER_NONREVOCABLE = "nonrevocable"
+LADDER_ORDER = (LADDER_REVOCABLE, LADDER_INHERITANCE, LADDER_NONREVOCABLE)
+
+
+class SectionSite:
+    """Robustness state for one (thread, sync_id) section site.
+
+    Unlike :class:`Section` — one dynamic execution — a site survives
+    across executions, so it can remember how often revocation threw away
+    this thread's work at this ``monitorenter`` without an intervening
+    commit (``attempts``), impose a growing revocation-free grace window
+    (``grace_until``), and hold the degradation-ladder rung the site has
+    been demoted to.  Degradation is sticky: a site never climbs back up
+    (re-promoting would readmit the livelock the demotion escaped).
+    """
+
+    __slots__ = (
+        "tid",
+        "sync_id",
+        "level",
+        "attempts",
+        "total_revocations",
+        "grace_until",
+        "degraded_at",
+    )
+
+    def __init__(self, tid: int, sync_id: object):
+        self.tid = tid
+        self.sync_id = sync_id
+        self.level = LADDER_REVOCABLE
+        #: revocations since the last commit at this site
+        self.attempts = 0
+        self.total_revocations = 0
+        #: revocation requests are refused until this virtual time
+        self.grace_until = 0
+        #: virtual time of the most recent demotion (-1 = never)
+        self.degraded_at = -1
+
+    def escalate(self, now: int) -> Optional[str]:
+        """Demote one rung; returns the new level, or None at the bottom."""
+        idx = LADDER_ORDER.index(self.level)
+        if idx + 1 >= len(LADDER_ORDER):
+            return None
+        self.level = LADDER_ORDER[idx + 1]
+        self.degraded_at = now
+        return self.level
+
+    def commit(self) -> None:
+        """A section at this site committed: the retry budget refills."""
+        self.attempts = 0
+        self.grace_until = 0
+
+    def __repr__(self) -> str:
+        return (
+            f"SectionSite(tid={self.tid}, {self.sync_id!r}, "
+            f"{self.level}, attempts={self.attempts})"
+        )
 
 
 class Section:

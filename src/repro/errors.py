@@ -98,3 +98,23 @@ class StarvationError(ReproError):
 
 class TransformError(ReproError):
     """The bytecode transformer could not rewrite a method safely."""
+
+
+class InvariantViolation(ReproError):
+    """The post-rollback invariant auditor found corrupted state.
+
+    A revocation must leave the heap "as if the section never ran"
+    (paper §3.1.2).  The auditor re-derives the expected pre-section value
+    of every location the section logged and compares it against the heap
+    after the undo log was processed; any mismatch — or an undo log whose
+    length does not return to the section's mark, or section marks that no
+    longer nest monotonically — raises this error.  Fault-injection
+    campaigns assert that no run ever raises it.
+    """
+
+    def __init__(self, thread_name: str, detail: str):
+        self.thread_name = thread_name
+        self.detail = detail
+        super().__init__(
+            f"rollback invariant violated in thread {thread_name!r}: {detail}"
+        )

@@ -1,0 +1,28 @@
+"""Deterministic fault injection for the revocation runtime (robustness).
+
+The paper's protocol makes a strong promise: however often synchronized
+sections are interrupted and rolled back, the guest program's observable
+behaviour is "as if" every section ran exactly once (§3.1).  This package
+stress-tests that promise without giving up the simulator's determinism:
+
+* :class:`FaultPlan` / :class:`~repro.faults.plane.FaultPlane` — a
+  seed-driven injector that delivers guest exceptions at yield points,
+  spurious revocation-request storms, delayed monitor hand-offs, and
+  benign undo-log perturbations.  All draws come from one derived
+  :class:`~repro.util.rng.DeterministicRng` sub-stream, so a run with a
+  given ``(seed, plan)`` replays exactly.
+* :class:`~repro.faults.auditor.InvariantAuditor` — verifies after every
+  rollback that the heap really returned to its pre-section state
+  (enabled with ``VMOptions(audit_rollbacks=True)``).
+* :mod:`repro.faults.campaign` — ``python -m repro.faults.campaign``
+  sweeps seeds x scenarios and asserts zero invariant violations.
+
+The injection points compose with the robustness machinery this package
+exists to exercise: the per-site revocation retry budget and exponential
+backoff, the scheduler's starvation watchdog, and the graceful-degradation
+ladder (``revocable -> inheritance -> nonrevocable``).
+"""
+
+from repro.faults.plane import FaultPlan, FaultPlane
+
+__all__ = ["FaultPlan", "FaultPlane"]

@@ -1,0 +1,102 @@
+"""Post-rollback invariant auditing.
+
+A rollback's contract (paper §3.1.2): after the undo log is processed in
+reverse down to the section's mark, every location the section modified
+holds its pre-section value again, the log has returned exactly to the
+mark, and the marks of the sections still active nest monotonically within
+the log.  The auditor re-derives the expected pre-section values from the
+log itself *before* the rollback runs, then checks the heap *after* — an
+independent oracle, so a bug in the reverse-processing order, a missed
+entry, or a fault-plane perturbation that was not actually benign raises
+:class:`~repro.errors.InvariantViolation` instead of silently corrupting
+the guest program.
+
+Enabled with ``VMOptions(audit_rollbacks=True)``; the fault-injection
+campaign runs every scenario under it and asserts zero violations.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.errors import InvariantViolation
+from repro.vm.heap import VMArray, VMObject, location_of
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.revocation import RollbackSupport
+    from repro.core.sections import Section
+    from repro.core.undolog import UndoLog
+    from repro.vm.threads import VMThread
+
+#: expectation: location key -> (container, slot, pre-section value)
+Expectation = dict
+
+
+class InvariantAuditor:
+    """Checks the rollback contract around every undo-log replay."""
+
+    def __init__(self, support: "RollbackSupport") -> None:
+        self.support = support
+
+    def before_rollback(
+        self, thread: "VMThread", target: "Section", log: "UndoLog"
+    ) -> Expectation:
+        """Capture the expected pre-section value of every logged location.
+
+        The *oldest* entry at or after the section's mark holds the value
+        the location had when the section first overwrote it — exactly what
+        reverse processing must end on.
+        """
+        expected: Expectation = {}
+        for container, slot, old_value in log.entries[target.log_mark:]:
+            key = location_of(container, slot)
+            if key not in expected:
+                expected[key] = (container, slot, old_value)
+        return expected
+
+    def after_rollback(
+        self,
+        thread: "VMThread",
+        target: "Section",
+        log: "UndoLog",
+        expected: Expectation,
+    ) -> None:
+        metrics = self.support.metrics
+        metrics.invariant_checks += 1
+        if len(log) != target.log_mark:
+            self._fail(
+                thread,
+                f"undo log holds {len(log)} entries after rollback, "
+                f"expected the section mark {target.log_mark}",
+            )
+        heap = self.support.vm.heap
+        for key, (container, slot, old_value) in expected.items():
+            if isinstance(container, (VMObject, VMArray)):
+                current = container.get(slot)
+            else:
+                current = heap.get_static(container)
+            if current is old_value:
+                continue
+            if current != current and old_value != old_value:
+                continue  # both NaN
+            if current != old_value:
+                self._fail(
+                    thread,
+                    f"location {key!r} holds {current!r} after rollback, "
+                    f"expected {old_value!r}",
+                )
+        previous_mark = -1
+        for section in thread.sections:
+            if section.log_mark < previous_mark or section.log_mark > len(log):
+                self._fail(
+                    thread,
+                    f"section marks no longer nest: {section!r} marks "
+                    f"{section.log_mark} after {previous_mark} "
+                    f"(log length {len(log)})",
+                )
+            previous_mark = section.log_mark
+
+    def _fail(self, thread: "VMThread", detail: str) -> None:
+        self.support.metrics.invariant_violations += 1
+        self.support.vm.trace("invariant_violation", thread, detail=detail)
+        raise InvariantViolation(thread.name, detail)

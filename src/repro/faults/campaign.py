@@ -1,0 +1,306 @@
+"""Seed-sweep fault-injection campaign.
+
+Runs every scenario under a sweep of VM seeds with the post-rollback
+invariant auditor enabled, and asserts that **no run ever violates the
+rollback contract** — the heap always returns to its pre-section state,
+and each workload's guest-level invariant (conserved balances, exact
+counters) holds no matter what the fault plane injected.
+
+The report is a pure function of ``(scenario set, seed range)``: two
+invocations with the same arguments must print byte-identical output.
+
+Usage::
+
+    PYTHONPATH=src python -m repro.faults.campaign --seeds 25
+    PYTHONPATH=src python -m repro.faults.campaign --seeds 5 --scenario storm-philosophers
+
+Exit status 0 when every run completed with zero violations, 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.bench.workloads import (
+    Workload,
+    build_bank,
+    build_bounded_buffer,
+    build_deadlock_ring,
+    build_medium_inversion,
+    build_philosophers,
+)
+from repro.errors import (
+    DeadlockError,
+    InvariantViolation,
+    ReproError,
+    StarvationError,
+)
+from repro.faults.plane import FaultPlan
+from repro.vm.vmcore import JVM, VMOptions
+
+#: host-time safety valve per run (virtual cycles)
+CYCLE_CAP = 40_000_000
+
+#: metrics aggregated into the report (summed over a scenario's seed sweep)
+REPORTED_METRICS = (
+    "revocation_requests",
+    "revocations_completed",
+    "revocations_denied_degraded",
+    "backoff_windows_granted",
+    "degradations_to_inheritance",
+    "degradations_to_nonrevocable",
+    "starvations_detected",
+    "deadlocks_resolved",
+    "invariant_checks",
+    "invariant_violations",
+)
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One workload + fault plan + guest-level invariant check."""
+
+    name: str
+    build: Callable[[], Workload]
+    plan: FaultPlan
+    #: returns a list of violation descriptions (empty = invariant held)
+    check: Callable[[JVM], list[str]]
+    options: dict = field(default_factory=dict)
+
+
+# ------------------------------------------------------- invariant checks
+def _check_philosopher_meals(expected: int) -> Callable[[JVM], list[str]]:
+    def check(vm: JVM) -> list[str]:
+        meals = vm.get_static("Philosophers", "meals")
+        if meals != expected:
+            return [f"meals counter {meals} != expected {expected}"]
+        return []
+
+    return check
+
+
+def _check_bank_balance(expected_total: int) -> Callable[[JVM], list[str]]:
+    def check(vm: JVM) -> list[str]:
+        balances = vm.get_static("Bank", "balances")
+        total = sum(balances.get(i) for i in range(len(balances)))
+        if total != expected_total:
+            return [f"total balance {total} != expected {expected_total}"]
+        return []
+
+    return check
+
+
+def _check_buffer_counts(total: int) -> Callable[[JVM], list[str]]:
+    def check(vm: JVM) -> list[str]:
+        produced = vm.get_static("Buffer", "produced")
+        consumed = vm.get_static("Buffer", "consumed")
+        problems = []
+        if produced != total:
+            problems.append(f"produced {produced} != expected {total}")
+        if consumed != total:
+            problems.append(f"consumed {consumed} != expected {total}")
+        return problems
+
+    return check
+
+
+def _check_spin_counter(expected: int) -> Callable[[JVM], list[str]]:
+    def check(vm: JVM) -> list[str]:
+        spin = vm.get_static("Inversion", "spin")
+        if spin != expected:
+            return [f"spin counter {spin} != expected {expected}"]
+        return []
+
+    return check
+
+
+def _check_ring_counter(expected: int) -> Callable[[JVM], list[str]]:
+    def check(vm: JVM) -> list[str]:
+        counter = vm.get_static("DeadlockRing", "counter")
+        if counter != expected:
+            return [f"ring counter {counter} != expected {expected}"]
+        return []
+
+    return check
+
+
+def _check_nothing(vm: JVM) -> list[str]:
+    return []
+
+
+# -------------------------------------------------------------- scenarios
+def _scenarios() -> list[Scenario]:
+    return [
+        Scenario(
+            name="storm-philosophers",
+            build=lambda: build_philosophers(
+                3, rounds=3, think_cycles=800, eat_iters=30
+            ),
+            plan=FaultPlan(revocation_storm_rate=0.2),
+            check=_check_philosopher_meals(3 * 3),
+        ),
+        Scenario(
+            name="exception-rain-bank",
+            build=lambda: build_bank(
+                accounts=4, transfers=12, hold_cycles=300
+            ),
+            plan=FaultPlan(guest_exception_rate=0.02, max_injections=8),
+            check=_check_bank_balance(4 * 100),
+            options={"raise_on_uncaught": False},
+        ),
+        Scenario(
+            name="exception-rain-inversion",
+            build=lambda: build_medium_inversion(
+                medium_threads=2,
+                low_section_iters=300,
+                medium_work_iters=400,
+                high_section_iters=80,
+            ),
+            plan=FaultPlan(guest_exception_rate=0.01, max_injections=6),
+            check=_check_nothing,
+            options={"raise_on_uncaught": False},
+        ),
+        Scenario(
+            name="handoff-delay-buffer",
+            build=lambda: build_bounded_buffer(
+                capacity=3, items_per_producer=8, producers=2, consumers=2
+            ),
+            plan=FaultPlan(
+                handoff_delay_rate=0.25, handoff_delay_cycles=1_500
+            ),
+            check=_check_buffer_counts(2 * 8),
+        ),
+        Scenario(
+            # storms revoke the low/high threads mid-section, so rollbacks
+            # replay non-empty log segments — the perturbation's target
+            name="undo-perturb-storm",
+            build=lambda: build_medium_inversion(
+                medium_threads=2,
+                low_section_iters=2_000,
+                medium_work_iters=1_000,
+                high_section_iters=500,
+            ),
+            plan=FaultPlan(
+                revocation_storm_rate=0.5, undo_perturb_rate=0.9
+            ),
+            check=_check_spin_counter(2 * 1_000),
+        ),
+        Scenario(
+            name="deadlock-ring",
+            build=lambda: build_deadlock_ring(
+                4, hold_cycles=3_000, work=30
+            ),
+            plan=FaultPlan(
+                handoff_delay_rate=0.2, handoff_delay_cycles=1_000
+            ),
+            check=_check_ring_counter(4 * 30),
+        ),
+    ]
+
+
+# ---------------------------------------------------------------- running
+def run_one(scenario: Scenario, seed: int) -> dict:
+    """Run one (scenario, seed) cell; returns its report fragment."""
+    options = VMOptions(
+        mode="rollback",
+        seed=seed,
+        trace=False,
+        audit_rollbacks=True,
+        max_cycles=CYCLE_CAP,
+        faults=scenario.plan,
+        **scenario.options,
+    )
+    vm = JVM(options)
+    scenario.build().install(vm)
+    violations: list[str] = []
+    outcome = "completed"
+    try:
+        vm.run()
+    except InvariantViolation as exc:
+        outcome = "invariant-violation"
+        violations.append(str(exc))
+    except (DeadlockError, StarvationError) as exc:
+        outcome = type(exc).__name__
+        violations.append(f"run did not complete: {type(exc).__name__}")
+    except ReproError as exc:  # any other host error is a robustness bug
+        outcome = type(exc).__name__
+        violations.append(f"{type(exc).__name__}: {exc}")
+    else:
+        violations.extend(scenario.check(vm))
+    metrics = vm.metrics()["support"]
+    fragment = {
+        "outcome": outcome,
+        "violations": violations,
+        "injected": vm.fault_plane.report() if vm.fault_plane else {},
+        "metrics": {k: metrics.get(k, 0) for k in REPORTED_METRICS},
+    }
+    return fragment
+
+
+def run_campaign(
+    seeds: int, scenario_filter: str | None = None
+) -> dict:
+    """Sweep seeds x scenarios; returns the aggregated (and deterministic)
+    campaign report."""
+    scenarios = _scenarios()
+    if scenario_filter is not None:
+        scenarios = [s for s in scenarios if s.name == scenario_filter]
+        if not scenarios:
+            raise SystemExit(f"unknown scenario {scenario_filter!r}")
+    report: dict = {"seeds": seeds, "scenarios": {}, "violations": 0}
+    for scenario in scenarios:
+        totals = {k: 0 for k in REPORTED_METRICS}
+        injected: dict[str, int] = {}
+        outcomes: dict[str, int] = {}
+        violations: list[str] = []
+        for seed in range(1, seeds + 1):
+            cell = run_one(scenario, seed)
+            outcomes[cell["outcome"]] = outcomes.get(cell["outcome"], 0) + 1
+            for key, value in cell["metrics"].items():
+                totals[key] += value
+            for key, value in cell["injected"].items():
+                injected[key] = injected.get(key, 0) + value
+            for violation in cell["violations"]:
+                violations.append(f"seed {seed}: {violation}")
+        report["scenarios"][scenario.name] = {
+            "outcomes": {k: outcomes[k] for k in sorted(outcomes)},
+            "injected": {k: injected[k] for k in sorted(injected)},
+            "metrics": totals,
+            "violations": violations,
+        }
+        report["violations"] += len(violations)
+    return report
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.faults.campaign",
+        description="deterministic fault-injection campaign",
+    )
+    parser.add_argument(
+        "--seeds", type=int, default=25,
+        help="number of VM seeds per scenario (default 25)",
+    )
+    parser.add_argument(
+        "--scenario", default=None,
+        help="run only the named scenario",
+    )
+    args = parser.parse_args(argv)
+    report = run_campaign(args.seeds, args.scenario)
+    print(json.dumps(report, indent=2, sort_keys=True))
+    if report["violations"]:
+        print(
+            f"FAIL: {report['violations']} invariant violation(s)",
+            file=sys.stderr,
+        )
+        return 1
+    print("OK: zero invariant violations", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

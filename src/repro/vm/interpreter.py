@@ -98,6 +98,7 @@ class Interpreter:
         cm = self.cost_model
         read_barriers = self.read_barriers
         max_cycles = vm.options.max_cycles
+        faults = vm.fault_plane
 
         while True:  # outer loop: re-entered on frame switch / exceptions
             frame = thread.frames[-1]
@@ -134,6 +135,15 @@ class Interpreter:
                                 self._relinquish_pending_handoff(thread)
                                 self._unwind_to_handler(thread)
                                 break  # re-enter outer loop on new frame/pc
+                        if faults is not None and thread.active_rollback is None:
+                            injected = faults.on_yield_point(thread)
+                            if injected is not None:
+                                # Dispatched exactly like any guest fault:
+                                # through the exception tables, never
+                                # through rollback scopes.
+                                raise GuestRuntimeError(
+                                    "injected fault", guest_class=injected
+                                )
                         if (
                             thread.quantum_used >= quantum
                             or thread.preempt_requested
@@ -721,7 +731,7 @@ class Interpreter:
                 self.clock.now - new_owner.blocked_since
             )
             new_owner.blocked_since = None
-        self.vm.scheduler.make_ready(new_owner)
+        self._ready_or_delay(new_owner, mon)
 
     def _wake_waiter(self, waiter: VMThread) -> None:
         """No-handoff mode: the selected waiter retries its acquisition
@@ -731,8 +741,26 @@ class Interpreter:
         if waiter.blocked_since is not None:
             waiter.blocked_cycles += self.clock.now - waiter.blocked_since
             waiter.blocked_since = None
-        self.vm.scheduler.make_ready(waiter)
+        self._ready_or_delay(waiter, waiter.blocked_on)
         self.vm.trace("wakeup", waiter)
+
+    def _ready_or_delay(self, thread: VMThread, mon: Optional[Monitor]) -> None:
+        """Make a released monitor's successor runnable — or, under fault
+        injection, let the plane postpone the wake-up (a delayed monitor
+        handoff), widening the window in which other threads can barge,
+        detect inversions, or form cycles."""
+        faults = self.vm.fault_plane
+        if faults is not None:
+            delay = faults.handoff_delay(thread, mon)
+            if delay > 0:
+                thread.state = ThreadState.SLEEPING
+                self.vm.scheduler.add_sleeper(thread, self.clock.now + delay)
+                self.vm.trace(
+                    "handoff_delayed", thread,
+                    mon=mon if mon is not None else "?", delay=delay,
+                )
+                return
+        self.vm.scheduler.make_ready(thread)
 
     def _terminate(self, thread: VMThread, result=None) -> None:
         thread.result = result
@@ -790,6 +818,7 @@ class Interpreter:
         leaked = [s for s in thread.sections if s.frame is frame]
         for section in reversed(leaked):
             thread.sections.remove(section)
+            self.support.on_section_abandoned(thread, section)
             mon = section.monitor
             if mon.owner is thread:
                 successor = mon.release(

@@ -222,6 +222,17 @@ class Monitor:
         moved, self.wait_set = self.wait_set, []
         return moved
 
+    def refresh_deposited(self) -> None:
+        """Re-deposit the owner's *current* effective priority.
+
+        Priority donations change the owner's effective priority after the
+        deposit made at acquisition time; detection compares against the
+        deposited value, so a stale deposit would keep reporting an
+        inversion that inheritance already cured.
+        """
+        if self.owner is not None:
+            self.deposited_priority = self.owner.effective_priority
+
     # ------------------------------------------------------------- inspection
     def is_locked(self) -> bool:
         return self.owner is not None

@@ -66,6 +66,8 @@ class BaseScheduler:
         self._last: Optional[VMThread] = None
         self.slices = 0
         self.context_switches = 0
+        #: tid -> (revocations, sections_committed) at the last watchdog scan
+        self._watchdog_snap: dict[int, tuple[int, int]] = {}
 
     # ------------------------------------------------------------ ready set
     def make_ready(self, thread: VMThread) -> None:
@@ -172,6 +174,9 @@ class BaseScheduler:
         if reason is PREEMPTED or reason is YIELDED:
             self.make_ready(thread)
         vm.after_slice()
+        interval = vm.options.watchdog_interval
+        if interval and self.slices % interval == 0:
+            self._watchdog_scan()
         return (thread, reason)
 
     def _advance_idle(self) -> bool:
@@ -203,6 +208,34 @@ class BaseScheduler:
             f"{blocked} / waiting threads {waiting} with no runnable "
             "notifier",
         )
+
+    def _watchdog_scan(self) -> None:
+        """Starvation/livelock watchdog (slice-count based, deterministic).
+
+        A thread whose revocation count grew by ``watchdog_revocations`` or
+        more since the previous scan, while its committed-section count
+        stayed flat, is burning cycles without making forward progress —
+        the revocation storm the paper's livelock discussion (§1) warns
+        about.  The runtime support decides the remedy (degrading the hot
+        section site); the scheduler only detects and reports.
+        """
+        vm = self.vm
+        threshold = vm.options.watchdog_revocations
+        snap = self._watchdog_snap
+        for t in vm.threads:
+            if not t.is_live():
+                snap.pop(t.tid, None)
+                continue
+            prev = snap.get(t.tid)
+            cur = (t.revocations, t.sections_committed)
+            snap[t.tid] = cur
+            if prev is None:
+                continue
+            if cur[1] == prev[1] and cur[0] - prev[0] >= threshold:
+                vm.trace(
+                    "starvation", t, revocations=cur[0] - prev[0]
+                )
+                vm.support.on_starvation(t)
 
     def on_priority_changed(self, thread: VMThread) -> None:
         """A thread's *effective* priority changed (inheritance donation or

@@ -135,6 +135,22 @@ class RuntimeSupport:
     def on_thread_exit(self, thread: "VMThread") -> None:
         return None
 
+    def on_section_abandoned(self, thread: "VMThread", section) -> None:
+        """``section`` was discarded without commit or rollback — its frame
+        was popped by guest exception dispatch unwinding past the
+        synchronized region.  The support must drop any cached state keyed
+        on the section (undo entries up to its mark stay: the catch-all
+        release handler ran ``monitorexit``, which has commit semantics)."""
+        return None
+
+    # ------------------------------------------------------------ robustness
+    def on_starvation(self, thread: "VMThread") -> bool:
+        """The scheduler's watchdog flagged ``thread``: its revocation count
+        keeps growing while it commits nothing.  Return True when the
+        support took a corrective action (e.g. degraded the hot section
+        site), False to let the scheduler merely trace the event."""
+        return False
+
     # ------------------------------------------------------------ scheduling
     def periodic_scan(self) -> None:
         """Optional background detection (paper §1: "either at lock

@@ -108,7 +108,7 @@ class VMThread:
         "blocked_on", "waiting_on", "held_monitors", "sections",
         "undo_log", "result", "uncaught", "quantum_used", "sched_stamp",
         "preempt_requested", "revocations", "consecutive_revocations",
-        "grace_until",
+        "grace_until", "sections_committed",
         # metrics
         "start_time", "end_time", "cycles_executed", "blocked_since",
         "blocked_cycles", "instructions_executed",
@@ -155,6 +155,9 @@ class VMThread:
         self.preempt_requested = False
         self.revocations = 0
         self.consecutive_revocations = 0
+        #: outermost sections committed (the watchdog's forward-progress
+        #: signal: revocations growing while this stays flat = livelock)
+        self.sections_committed = 0
         #: livelock guard: while now < grace_until this thread may not be
         #: revoked again (set after repeated revocations)
         self.grace_until = 0

@@ -17,6 +17,8 @@ Legend::
     w   in a wait set (Object.wait)
     R   revocation: the section was rolled back here
     D   deadlock resolved by revoking this thread
+    G   degradation: a section site dropped a ladder rung here
+    !   injected fault delivered to this thread
     .   otherwise live (running, ready or sleeping)
     (space) not yet started / already terminated
 """
@@ -113,13 +115,17 @@ def render_timeline(
             rows[e.thread][col(e.time)] = "R"
         elif e.kind == "deadlock_resolve":
             rows[e.thread][col(e.time)] = "D"
+        elif e.kind == "degrade":
+            rows[e.thread][col(e.time)] = "G"
+        elif e.kind == "fault_inject":
+            rows[e.thread][col(e.time)] = "!"
 
     name_width = max((len(n) for n in names), default=4)
     lines = [
         f"virtual time {t0} .. {t1} "
         f"({span} cycles, {span // width}/column)",
         "legend: # in section   - blocked   w waiting   R rollback   "
-        "D deadlock victim   . live",
+        "D deadlock victim   G degrade   ! fault   . live",
         "",
     ]
     for name in names:

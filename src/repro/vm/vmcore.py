@@ -101,6 +101,26 @@ class VMOptions:
     #: thread's section, grant it a revocation-free grace window
     livelock_threshold: int = 3
     livelock_grace: int = 20_000
+    #: robustness plane (extension): after this many revocations of one
+    #: *section site* — a (thread, sync_id) pair — without an intervening
+    #: commit, the site is demoted one rung on the degradation ladder
+    #: (revocable -> priority-inheritance -> non-revocable).  0 disables.
+    revocation_retry_budget: int = 8
+    #: per-site exponential backoff: after a site's n-th consecutive
+    #: revocation, further revocations of it are denied for
+    #: ``revocation_backoff << (n-1)`` cycles.  0 disables (the
+    #: thread-level livelock grace above stays the only damper).
+    revocation_backoff: int = 0
+    #: starvation watchdog: every N scheduler slices, flag threads whose
+    #: revocation count grew by ``watchdog_revocations`` or more with no
+    #: committed section since the previous scan.  0 disables the scan.
+    watchdog_interval: int = 128
+    watchdog_revocations: int = 6
+    #: verify heap/log/section invariants after every rollback (slow;
+    #: fault-injection campaigns run with this on)
+    audit_rollbacks: bool = False
+    #: deterministic fault-injection plan (:class:`repro.faults.FaultPlan`)
+    faults: Any = None
     #: 0 = unlimited; otherwise StarvationError past this many cycles
     max_cycles: int = 0
     barrier_elision: bool = True
@@ -157,6 +177,11 @@ class JVM:
         self.uncaught: list[tuple[VMThread, Any]] = []
         self.support: RuntimeSupport = _build_support(options)
         self.support.attach(self)
+        self.fault_plane = None
+        if options.faults is not None:
+            from repro.faults.plane import FaultPlane
+
+            self.fault_plane = FaultPlane(self, options.faults)
         self.interpreter = Interpreter(self)
         self.scheduler: BaseScheduler = (
             PriorityScheduler(self)
@@ -305,6 +330,8 @@ class JVM:
                 self._next_periodic_scan = (
                     self.clock.now + self.options.periodic_interval
                 )
+        if self.fault_plane is not None:
+            self.fault_plane.on_slice_end()
 
     # ------------------------------------------------------------- services
     def charge(self, thread: Optional[VMThread], cycles: int) -> None:

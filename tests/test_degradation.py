@@ -1,0 +1,233 @@
+"""Graceful degradation: the per-site retry budget, exponential backoff,
+the revocable -> inheritance -> nonrevocable ladder, and the scheduler's
+starvation watchdog."""
+
+from repro import Asm, FaultPlan
+from repro.core.sections import (
+    LADDER_INHERITANCE,
+    LADDER_NONREVOCABLE,
+    LADDER_REVOCABLE,
+    REASON_DEGRADED,
+)
+
+from conftest import build_class, make_vm
+
+
+def _trivial_vm(**options):
+    run = Asm("run", argc=0)
+    run.ret()
+    vm = make_vm("rollback", **options)
+    vm.load(build_class("T", [], [run]))
+    return vm
+
+
+def _contention_vm(**options):
+    """run(iters, delay): sleep, then increment ``counter`` iters times
+    inside one synchronized section.  Spawns ``low`` (long section, prio 1)
+    and ``high`` (short section, prio 10, arrives mid-way)."""
+    run = Asm("run", argc=2)
+    run.load(1).sleep()
+    run.getstatic("T", "lock")
+    with run.sync():
+        i = run.local()
+        run.for_range(i, lambda: run.load(0), lambda: (
+            run.getstatic("T", "counter"), run.const(1), run.add(),
+            run.putstatic("T", "counter"),
+        ))
+    run.ret()
+    cls = build_class("T", ["lock:ref", "counter:int"], [run])
+    vm = make_vm("rollback", **options)
+    vm.load(cls)
+    vm.set_static("T", "lock", vm.new_object("T"))
+    low = vm.spawn("T", "run", args=[4_000, 1], priority=1, name="low")
+    vm.spawn("T", "run", args=[50, 8_000], priority=10, name="high")
+    return vm, low
+
+
+def _only_site(vm, thread):
+    """The (pre-created) site of the method's single synchronized scope."""
+    scopes = vm.resolve_method("T", "run").rollback_scopes
+    assert len(scopes) == 1
+    return vm.support._site(thread, next(iter(scopes)))
+
+
+class TestLadderUnit:
+    def test_escalation_is_sticky_and_bottoms_out(self):
+        vm = _trivial_vm()
+        t = vm.spawn("T", "run", name="a")
+        site = vm.support._site(t, "site")
+        assert site.level == LADDER_REVOCABLE
+        assert vm.support._degrade(t, site, reason="test") == (
+            LADDER_INHERITANCE
+        )
+        assert vm.support._degrade(t, site, reason="test") == (
+            LADDER_NONREVOCABLE
+        )
+        assert vm.support._degrade(t, site, reason="test") is None
+        m = vm.support.metrics
+        assert m.degradations_to_inheritance == 1
+        assert m.degradations_to_nonrevocable == 1
+        assert len(vm.tracer.of_kind("degrade")) == 2
+
+    def test_commit_refills_budget_but_keeps_rung(self):
+        vm = _trivial_vm()
+        t = vm.spawn("T", "run", name="a")
+        site = vm.support._site(t, "site")
+        site.attempts = 5
+        site.grace_until = 99_999
+        vm.support._degrade(t, site, reason="test")
+        site.commit()
+        assert site.attempts == 0
+        assert site.grace_until == 0
+        assert site.level == LADDER_INHERITANCE  # degradation is sticky
+
+
+class TestInheritanceRung:
+    def test_denied_revocation_donates_priority(self):
+        """At the inheritance rung the requester's priority is donated to
+        the holder instead of revoking — the paper's priority-inheritance
+        baseline as a per-site fallback."""
+        vm, low = _contention_vm()
+        _only_site(vm, low).level = LADDER_INHERITANCE
+        vm.run()
+        s = vm.metrics()["support"]
+        assert s["revocations_completed"] == 0
+        assert s["revocations_denied_degraded"] >= 1
+        assert s["priority_donations"] >= 1
+        denied = vm.tracer.of_kind("revocation_denied")
+        assert any(
+            e.details["reason"] == "degraded-inheritance" for e in denied
+        )
+        assert vm.tracer.of_kind("inherit")
+        assert vm.get_static("T", "counter") == 4_000 + 50
+        # the donation was shed when the monitor was handed off
+        assert low.effective_priority == low.priority == 1
+
+    def test_donation_visible_while_section_active(self):
+        vm, low = _contention_vm()
+        _only_site(vm, low).level = LADDER_INHERITANCE
+        seen: list[int] = []
+        original = type(vm.support).on_monitor_exited
+
+        def spy(support, thread, monitor, frame, sync_id):
+            if thread.name == "low":
+                seen.append(thread.effective_priority)
+            return original(support, thread, monitor, frame, sync_id)
+
+        vm.support.on_monitor_exited = spy.__get__(vm.support)
+        vm.run()
+        assert seen and seen[0] == 10  # donated priority held at exit
+
+
+class TestNonrevocableRung:
+    def test_fully_degraded_site_pins_sections_at_entry(self):
+        """At the bottom rung every execution is marked non-revocable on
+        monitorenter, so detection stops requesting doomed revocations."""
+        vm, low = _contention_vm()
+        _only_site(vm, low).level = LADDER_NONREVOCABLE
+        vm.run()
+        s = vm.metrics()["support"]
+        assert s["nonrevocable_degraded"] >= 1
+        assert s["revocations_completed"] == 0
+        assert s["revocations_denied_nonrevocable"] >= 1
+        marks = vm.tracer.of_kind("nonrevocable")
+        assert any(
+            e.details["reason"] == REASON_DEGRADED for e in marks
+        )
+        assert vm.get_static("T", "counter") == 4_000 + 50
+
+
+class TestBackoff:
+    def test_exponential_backoff_lets_the_section_finish(self):
+        """With backoff enabled (and no budget) a permanent storm is held
+        off for exponentially growing windows until the section commits."""
+        run = Asm("run", argc=0)
+        run.getstatic("T", "lock")
+        with run.sync():
+            i = run.local()
+            run.for_range(i, lambda: run.const(4_000), lambda: (
+                run.getstatic("T", "counter"), run.const(1), run.add(),
+                run.putstatic("T", "counter"),
+            ))
+        run.ret()
+        cls = build_class("T", ["lock:ref", "counter:int"], [run])
+        vm = make_vm(
+            "rollback",
+            faults=FaultPlan(revocation_storm_rate=1.0),
+            revocation_retry_budget=0,
+            revocation_backoff=4_000,
+            watchdog_interval=0,
+            livelock_grace=0,
+            max_cycles=30_000_000,
+        )
+        vm.load(cls)
+        vm.set_static("T", "lock", vm.new_object("T"))
+        vm.spawn("T", "run", name="victim")
+        vm.run()
+        s = vm.metrics()["support"]
+        assert vm.get_static("T", "counter") == 4_000
+        assert s["backoff_windows_granted"] >= 1
+        assert s["revocations_denied_grace"] >= 1
+        assert vm.tracer.of_kind("site_backoff")
+        denied = vm.tracer.of_kind("revocation_denied")
+        assert any(e.details["reason"] == "site-backoff" for e in denied)
+
+
+class TestWatchdog:
+    def test_watchdog_degrades_a_starving_site(self):
+        """Budget and backoff off: the slice-count watchdog notices the
+        revocations-without-commits pattern and degrades the hot site."""
+        run = Asm("run", argc=0)
+        run.getstatic("T", "lock")
+        with run.sync():
+            i = run.local()
+            run.for_range(i, lambda: run.const(4_000), lambda: (
+                run.getstatic("T", "counter"), run.const(1), run.add(),
+                run.putstatic("T", "counter"),
+            ))
+        run.ret()
+        cls = build_class("T", ["lock:ref", "counter:int"], [run])
+        vm = make_vm(
+            "rollback",
+            faults=FaultPlan(revocation_storm_rate=1.0),
+            revocation_retry_budget=0,
+            revocation_backoff=0,
+            watchdog_interval=4,
+            watchdog_revocations=2,
+            livelock_grace=0,
+            max_cycles=30_000_000,
+        )
+        vm.load(cls)
+        vm.set_static("T", "lock", vm.new_object("T"))
+        victim = vm.spawn("T", "run", name="victim")
+        vm.run()
+        s = vm.metrics()["support"]
+        assert vm.get_static("T", "counter") == 4_000
+        assert s["starvations_detected"] >= 1
+        assert s["degradations_to_inheritance"] >= 1
+        assert vm.tracer.of_kind("starvation")
+        degrades = vm.tracer.of_kind("degrade")
+        assert any(e.details["reason"] == "starvation" for e in degrades)
+        assert victim.sections_committed == 1
+
+    def test_watchdog_quiet_on_healthy_run(self):
+        """A fault-free multi-thread run with an aggressive watchdog never
+        trips it (commits keep advancing)."""
+        run = Asm("run", argc=0)
+        run.getstatic("T", "lock")
+        with run.sync():
+            i = run.local()
+            run.for_range(i, lambda: run.const(300), lambda: (
+                run.getstatic("T", "counter"), run.const(1), run.add(),
+                run.putstatic("T", "counter"),
+            ))
+        run.ret()
+        cls = build_class("T", ["lock:ref", "counter:int"], [run])
+        vm = make_vm("rollback", watchdog_interval=2, watchdog_revocations=1)
+        vm.load(cls)
+        vm.set_static("T", "lock", vm.new_object("T"))
+        for k in range(3):
+            vm.spawn("T", "run", name=f"t{k}")
+        vm.run()
+        assert vm.metrics()["support"]["starvations_detected"] == 0
+        assert vm.get_static("T", "counter") == 3 * 300

@@ -1,9 +1,10 @@
 """Scheduler tests: round-robin fairness, priority preemption, stall
-detection, sleep bookkeeping."""
+detection, sleep bookkeeping, wait-for-cycle detection."""
 
 import pytest
 
-from repro import Asm, DeadlockError
+from repro import Asm, DeadlockError, Monitor, ThreadState, VMThread
+from repro.vm.scheduler import find_wait_cycle
 
 from conftest import build_class, make_vm
 
@@ -193,3 +194,110 @@ class TestSleepers:
         assert t.start_time is not None
         assert t.end_time >= t.start_time
         assert t.elapsed() == t.end_time - t.start_time
+
+
+def _bare_thread(tid: int, name: str) -> VMThread:
+    run = Asm("run", argc=0)
+    run.ret()
+    return VMThread(tid, name, run.build(), [])
+
+
+def _block_on(thread: VMThread, owner: VMThread) -> Monitor:
+    """Make ``thread`` BLOCKED on a fresh monitor owned by ``owner``."""
+    mon = Monitor(object())
+    mon.owner = owner
+    thread.state = ThreadState.BLOCKED
+    thread.blocked_on = mon
+    return mon
+
+
+class TestFindWaitCycle:
+    def test_no_blocked_threads(self):
+        assert find_wait_cycle([_bare_thread(1, "a")]) is None
+
+    def test_self_cycle(self):
+        """A thread blocked on a monitor it owns itself (possible only
+        through corrupted state, but the walker must not loop forever)."""
+        t = _bare_thread(1, "a")
+        _block_on(t, t)
+        assert find_wait_cycle([t]) == [t]
+
+    def test_chain_without_cycle(self):
+        """a -> b -> c where c is runnable: no cycle."""
+        a, b, c = (_bare_thread(k, n) for k, n in enumerate("abc"))
+        _block_on(a, b)
+        _block_on(b, c)
+        c.state = ThreadState.READY
+        assert find_wait_cycle([a, b, c]) is None
+
+    def test_multi_monitor_ring(self):
+        """Three threads, three monitors, blocked in a ring: the cycle
+        comes back in wait-for order."""
+        a, b, c = (_bare_thread(k, n) for k, n in enumerate("abc"))
+        _block_on(a, b)
+        _block_on(b, c)
+        _block_on(c, a)
+        cycle = find_wait_cycle([a, b, c])
+        assert cycle is not None and len(cycle) == 3
+        for waiter, owner in zip(cycle, cycle[1:] + cycle[:1]):
+            assert waiter.blocked_on.owner is owner
+
+    def test_tail_outside_cycle_is_excluded(self):
+        """t -> a -> b -> a: the reported cycle is [a, b], without the
+        tail thread that merely waits on it."""
+        t, a, b = (_bare_thread(k, n) for k, n in enumerate("tab"))
+        _block_on(t, a)
+        _block_on(a, b)
+        _block_on(b, a)
+        cycle = find_wait_cycle([t, a, b])
+        assert cycle is not None
+        assert set(c.name for c in cycle) == {"a", "b"}
+
+    def test_blocked_on_unowned_monitor(self):
+        """blocked_on with no owner (release raced the walk): no cycle."""
+        a = _bare_thread(1, "a")
+        mon = Monitor(object())
+        a.state = ThreadState.BLOCKED
+        a.blocked_on = mon
+        assert find_wait_cycle([a]) is None
+
+
+class TestSleeperHeapStaleness:
+    def test_cancelled_entry_is_pruned(self):
+        vm = make_vm()
+        sched = vm.scheduler
+        t = _bare_thread(1, "s")
+        sched.add_sleeper(t, 100)
+        sched.remove_sleeper(t)
+        assert sched.pending_wake_time() == 1 << 62
+        assert not sched._sleepers  # lazy prune drained the stale entry
+
+    def test_rearmed_entry_shadows_the_stale_one(self):
+        vm = make_vm()
+        sched = vm.scheduler
+        t = _bare_thread(1, "s")
+        sched.add_sleeper(t, 100)
+        sched.remove_sleeper(t)
+        sched.add_sleeper(t, 200)
+        assert sched.pending_wake_time() == 200
+        assert len(sched._sleepers) == 1
+
+    def test_wake_skips_stale_and_fires_once(self):
+        """Re-arming to an earlier time leaves a later stale entry in the
+        heap; the thread must wake exactly once, at the new time."""
+        vm = make_vm()
+        sched = vm.scheduler
+        t = _bare_thread(1, "s")
+        t.state = ThreadState.SLEEPING
+        sched.add_sleeper(t, 100)
+        sched.add_sleeper(t, 50)  # re-arm earlier; the 100 entry is stale
+        vm.clock.advance_to(60)
+        sched._wake_due_sleepers()
+        assert t.state is ThreadState.READY
+        assert t.wakeup_time == -1
+        # the stale 100 entry must not resurrect the thread
+        t.state = ThreadState.SLEEPING
+        vm.clock.advance_to(150)
+        sched._wake_due_sleepers()
+        assert t.state is ThreadState.SLEEPING
+        assert sched._next_sleeper_time() is None
