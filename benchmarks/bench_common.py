@@ -11,6 +11,10 @@ Environment knobs:
   (default 2; the paper uses 5).
 * ``REPRO_BENCH_SCALE`` — multiplies iteration/section counts
   (see :mod:`repro.bench.figures`).
+* ``REPRO_BENCH_JOBS`` / ``REPRO_BENCH_CACHE`` / ``REPRO_BENCH_CACHE_DIR``
+  — worker pool and on-disk result cache (see
+  :mod:`repro.bench.parallel`); the measured numbers are identical for
+  every setting.
 """
 
 from __future__ import annotations
@@ -18,9 +22,20 @@ from __future__ import annotations
 import os
 
 from repro.bench.figures import FigurePanel, PanelResult, run_panel
+from repro.bench.parallel import RunEngine
 from repro.bench.report import render_panel
 
 _PANEL_CACHE: dict[tuple[int, str], PanelResult] = {}
+
+_ENGINE: RunEngine | None = None
+
+
+def engine() -> RunEngine:
+    """One env-configured run engine shared by the whole bench session."""
+    global _ENGINE
+    if _ENGINE is None:
+        _ENGINE = RunEngine.from_env()
+    return _ENGINE
 
 #: figures sharing one sweep: 7 reuses 5's runs, 8 reuses 6's
 _SWEEP_ALIAS = {5: 5, 6: 6, 7: 5, 8: 6}
@@ -39,7 +54,9 @@ def get_panel(figure: int, panel: str) -> PanelResult:
     key = (sweep_figure, panel)
     if key not in _PANEL_CACHE:
         _PANEL_CACHE[key] = run_panel(
-            FigurePanel(sweep_figure, panel), repetitions=repetitions()
+            FigurePanel(sweep_figure, panel),
+            repetitions=repetitions(),
+            engine=engine(),
         )
     cached = _PANEL_CACHE[key]
     if figure == sweep_figure:

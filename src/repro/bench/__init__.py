@@ -8,6 +8,10 @@
 * :mod:`repro.bench.figures` — sweep definitions regenerating every panel
   of Figures 5–8 plus the extension/ablation experiments.
 * :mod:`repro.bench.report` — text rendering of series and panels.
+* :mod:`repro.bench.parallel` — the run engine: fans the (config, mode,
+  seed) matrix out to worker processes and memoizes results in a
+  content-addressed on-disk cache; serial and parallel reports are
+  byte-identical.
 * :mod:`repro.bench.workloads` — additional guest programs (deadlock
   pairs, bank transfers, bounded buffers, medium-thread inversion).
 """
@@ -32,9 +36,19 @@ from repro.bench.figures import (
     run_panel,
     sweep_write_ratios,
 )
+from repro.bench.parallel import (
+    EngineStats,
+    ResultCache,
+    RunEngine,
+    RunSpec,
+)
 from repro.bench.report import render_panel, render_series
 
 __all__ = [
+    "EngineStats",
+    "ResultCache",
+    "RunEngine",
+    "RunSpec",
     "HIGH_PRIORITY",
     "LOW_PRIORITY",
     "MicrobenchConfig",

@@ -6,15 +6,30 @@ Examples::
     python -m repro.bench 6b --reps 5        # more repetitions
     python -m repro.bench 7c --csv out.csv   # export the series
     python -m repro.bench all                # every panel (slow)
+    REPRO_BENCH_JOBS=4 python -m repro.bench all   # parallel workers
+
+Runs execute through :mod:`repro.bench.parallel`: ``--jobs`` (or
+``REPRO_BENCH_JOBS``) sets the worker count and results are memoized in a
+content-addressed on-disk cache unless ``--no-cache`` (or
+``REPRO_BENCH_CACHE=0``) is given.  The measured report on **stdout** is
+byte-identical for every jobs/cache setting; host-side execution stats
+(wall clock, cache hits) print on **stderr**.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 from repro.bench.figures import FigurePanel, all_panels, run_panel
-from repro.bench.report import panel_json, render_panel, write_csv
+from repro.bench.parallel import ResultCache, RunEngine
+from repro.bench.report import (
+    panel_json,
+    render_engine_stats,
+    render_panel,
+    write_csv,
+)
 
 
 def _parse_panel(text: str) -> FigurePanel:
@@ -26,6 +41,13 @@ def _parse_panel(text: str) -> FigurePanel:
     return FigurePanel(int(text[0]), text[1])
 
 
+def _default_reps() -> int:
+    try:
+        return max(1, int(os.environ.get("REPRO_BENCH_REPS", "2")))
+    except ValueError:
+        return 2
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.bench",
@@ -35,28 +57,63 @@ def main(argv: list[str] | None = None) -> int:
         "panel",
         help="figure panel (e.g. 5a, 6b, 8c) or 'all'",
     )
-    parser.add_argument("--reps", type=int, default=2,
-                        help="paired-seed repetitions (default 2)")
+    parser.add_argument(
+        "--reps", type=int, default=_default_reps(),
+        help="paired-seed repetitions (default REPRO_BENCH_REPS or 2)",
+    )
     parser.add_argument("--seed", type=int, default=0x5EED)
     parser.add_argument("--csv", metavar="PATH",
                         help="also write the series to a CSV file")
     parser.add_argument("--json", action="store_true",
                         help="print JSON instead of the table/chart")
+    parser.add_argument(
+        "--jobs", type=int, default=None,
+        help="worker processes (default REPRO_BENCH_JOBS or cpu count; "
+             "1 = serial)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="skip the on-disk result cache for this invocation",
+    )
+    parser.add_argument(
+        "--cache-dir", metavar="DIR", default=None,
+        help="result cache location (default REPRO_BENCH_CACHE_DIR or "
+             ".repro-bench-cache)",
+    )
     args = parser.parse_args(argv)
+
+    engine = RunEngine.from_env()
+    if args.jobs is not None:
+        engine = RunEngine(jobs=max(1, args.jobs), cache=engine.cache)
+    if args.no_cache:
+        engine = RunEngine(jobs=engine.jobs, cache=None)
+    elif args.cache_dir is not None:
+        engine = RunEngine(
+            jobs=engine.jobs, cache=ResultCache(args.cache_dir)
+        )
 
     panels = (
         all_panels() if args.panel == "all"
         else [_parse_panel(args.panel)]
     )
     for panel in panels:
-        result = run_panel(panel, repetitions=args.reps, seed=args.seed)
+        result = run_panel(
+            panel, repetitions=args.reps, seed=args.seed, engine=engine
+        )
         if args.json:
             print(panel_json(result))
         else:
             print(render_panel(result))
+        # Execution stats go to stderr: stdout must stay byte-identical
+        # across jobs/cache settings (the determinism contract).
+        if result.stats is not None:
+            stats = render_engine_stats(result.stats)
+            print(f"[{panel.figure}{panel.panel}] {stats}", file=sys.stderr)
         if args.csv:
             write_csv(result, args.csv)
             print(f"series written to {args.csv}", file=sys.stderr)
+    if len(panels) > 1:
+        print(f"[total] {engine.stats.render()}", file=sys.stderr)
     return 0
 
 

@@ -27,7 +27,11 @@ import os
 from dataclasses import dataclass, field, replace
 from typing import Optional
 
-from repro.bench.harness import ComparisonResult, compare_modes
+from repro.bench.harness import (
+    ComparisonResult,
+    comparison_specs,
+    reduce_comparison,
+)
 from repro.bench.microbench import MicrobenchConfig
 from repro.util.stats import Summary
 from repro.vm.vmcore import VMOptions
@@ -119,6 +123,10 @@ class PanelResult:
     panel: FigurePanel
     write_ratios: tuple[int, ...]
     comparisons: list[ComparisonResult] = field(repr=False)
+    #: host-side execution observability (wall clock, cache hits) for the
+    #: sweep that produced this panel; never feeds the rendered series,
+    #: so serial and parallel reports stay byte-identical
+    stats: Optional[object] = field(default=None, repr=False, compare=False)
 
     def _summaries(self, mode: str, metric: str) -> list[Summary]:
         return [c.summary(mode, metric) for c in self.comparisons]
@@ -159,16 +167,38 @@ def sweep_write_ratios(
     repetitions: int = 3,
     modes: tuple[str, ...] = ("unmodified", "rollback"),
     options: Optional[VMOptions] = None,
+    engine=None,
 ) -> list[ComparisonResult]:
-    """Run the write-ratio sweep for one thread mix."""
+    """Run the write-ratio sweep for one thread mix.
+
+    The whole (write ratio x repetition x mode) matrix is enumerated up
+    front and handed to one engine ``map`` call, so a parallel engine
+    overlaps runs *across* write ratios, not just within one.
+    """
+    from repro.bench.parallel import RunEngine, execute_spec, spec_key
+
+    if engine is None:
+        engine = RunEngine(jobs=1)
+    modes = tuple(modes)
+    per_ratio = len(modes) * repetitions
+    specs = []
+    for pct in write_ratios:
+        specs.extend(
+            comparison_specs(
+                replace(base, write_pct=pct),
+                modes,
+                repetitions=repetitions,
+                options=options,
+            )
+        )
+    results = engine.map(execute_spec, specs, key_fn=spec_key)
     return [
-        compare_modes(
+        reduce_comparison(
             replace(base, write_pct=pct),
             modes,
-            repetitions=repetitions,
-            options=options,
+            results[i * per_ratio:(i + 1) * per_ratio],
         )
-        for pct in write_ratios
+        for i, pct in enumerate(write_ratios)
     ]
 
 
@@ -179,15 +209,26 @@ def run_panel(
     write_ratios: tuple[int, ...] = WRITE_RATIOS,
     seed: int = 0x5EED,
     options: Optional[VMOptions] = None,
+    engine=None,
 ) -> PanelResult:
-    """Measure one figure panel (and implicitly its Figure-7/8 sibling)."""
+    """Measure one figure panel (and implicitly its Figure-7/8 sibling).
+
+    ``engine`` selects execution strategy only (serial, pooled, cached);
+    the measured numbers are identical for every choice.
+    """
+    from repro.bench.parallel import RunEngine
+
+    if engine is None:
+        engine = RunEngine(jobs=1)
     comparisons = sweep_write_ratios(
         panel.base_config(seed),
         write_ratios=write_ratios,
         repetitions=repetitions,
         options=options,
+        engine=engine,
     )
     return PanelResult(
         panel=panel, write_ratios=tuple(write_ratios),
         comparisons=comparisons,
+        stats=engine.last_stats,
     )

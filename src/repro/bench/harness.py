@@ -31,7 +31,12 @@ from repro.vm.vmcore import JVM, VMOptions
 
 @dataclass(frozen=True)
 class RunResult:
-    """Metrics from one VM invocation of the micro-benchmark."""
+    """Metrics from one VM invocation of the micro-benchmark.
+
+    Instances cross process boundaries in the parallel engine and live in
+    the on-disk result cache, so every field (including the raw
+    ``metrics`` mapping) must stay plain picklable data.
+    """
 
     mode: str
     config: MicrobenchConfig
@@ -111,6 +116,51 @@ class ComparisonResult:
         return base / treat if treat else float("inf")
 
 
+def comparison_specs(
+    config: MicrobenchConfig,
+    modes: tuple[str, ...] = ("unmodified", "rollback"),
+    *,
+    repetitions: int = 3,
+    options: Optional[VMOptions] = None,
+    cost_model: Optional[CostModel] = None,
+) -> list:
+    """Enumerate the (rep x mode) run matrix in deterministic order.
+
+    Seed pairing matters: both VMs see the same random arrival pattern in
+    repetition *k*, so mode differences are not arrival noise.
+    """
+    from dataclasses import replace
+
+    from repro.bench.parallel import RunSpec
+
+    specs = []
+    for rep in range(repetitions):
+        seed = derive_seed(config.seed, "rep", rep)
+        rep_config = replace(config, seed=seed)
+        for mode in modes:
+            specs.append(
+                RunSpec(
+                    config=rep_config,
+                    mode=mode,
+                    options=options,
+                    cost_model=cost_model,
+                )
+            )
+    return specs
+
+
+def reduce_comparison(
+    config: MicrobenchConfig,
+    modes: tuple[str, ...],
+    results: list[RunResult],
+) -> ComparisonResult:
+    """Fold matrix-ordered RunResults back into a ComparisonResult."""
+    runs: dict[str, list[RunResult]] = {m: [] for m in modes}
+    for i, result in enumerate(results):
+        runs[modes[i % len(modes)]].append(result)
+    return ComparisonResult(config=config, modes=tuple(modes), runs=runs)
+
+
 def compare_modes(
     config: MicrobenchConfig,
     modes: tuple[str, ...] = ("unmodified", "rollback"),
@@ -118,22 +168,24 @@ def compare_modes(
     repetitions: int = 3,
     options: Optional[VMOptions] = None,
     cost_model: Optional[CostModel] = None,
+    engine=None,
 ) -> ComparisonResult:
     """Run ``config`` under every mode with paired per-repetition seeds.
 
-    Seed pairing matters: both VMs see the same random arrival pattern in
-    repetition *k*, so mode differences are not arrival noise.
+    All runs flow through a :class:`repro.bench.parallel.RunEngine`; the
+    default is the serial uncached engine, so library callers and tests
+    see the historical in-process behaviour unless they opt in.
     """
-    from dataclasses import replace
+    from repro.bench.parallel import RunEngine, execute_spec, spec_key
 
-    runs: dict[str, list[RunResult]] = {m: [] for m in modes}
-    for rep in range(repetitions):
-        seed = derive_seed(config.seed, "rep", rep)
-        rep_config = replace(config, seed=seed)
-        for mode in modes:
-            runs[mode].append(
-                run_microbench(
-                    rep_config, mode, options=options, cost_model=cost_model
-                )
-            )
-    return ComparisonResult(config=config, modes=tuple(modes), runs=runs)
+    if engine is None:
+        engine = RunEngine(jobs=1)
+    specs = comparison_specs(
+        config,
+        modes,
+        repetitions=repetitions,
+        options=options,
+        cost_model=cost_model,
+    )
+    results = engine.map(execute_spec, specs, key_fn=spec_key)
+    return reduce_comparison(config, modes, results)

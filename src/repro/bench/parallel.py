@@ -1,0 +1,365 @@
+"""Parallel benchmark execution engine with content-addressed run caching.
+
+Every benchmark run is a pure deterministic function of
+``(config, mode, options, cost_model)`` — the VM replays the same virtual
+history no matter which process executes it.  That makes the Figures 5–8
+matrix embarrassingly parallel: this module
+
+1. enumerates the full run matrix for a figure/campaign up front,
+2. fans the runs out to a worker pool (:class:`RunEngine`),
+3. reduces the results back in deterministic matrix order, so every
+   report and figure is byte-identical to the serial path, and
+4. memoizes completed runs in a content-addressed on-disk cache
+   (:class:`ResultCache`) keyed by the run's inputs *plus* a digest of
+   the ``repro`` source tree, so re-running an unchanged panel is free.
+
+Environment knobs (all read by :meth:`RunEngine.from_env`):
+
+* ``REPRO_BENCH_JOBS`` — worker processes (default ``os.cpu_count()``;
+  ``1`` = the serial in-process path, no pool, no pickling).
+* ``REPRO_BENCH_CACHE`` — set to ``0``/``off``/``no`` to disable the
+  result cache.
+* ``REPRO_BENCH_CACHE_DIR`` — cache location (default
+  ``.repro-bench-cache`` under the current directory).
+
+Determinism note: worker scheduling order never reaches the results —
+:meth:`RunEngine.map` returns outputs in *input* order, and each worker
+builds its own VM from the pickled spec.  Host wall-clock and cache-hit
+counters live in :class:`EngineStats`, deliberately *outside* the
+deterministic result objects, so callers can print them on stderr while
+keeping stdout byte-stable across ``jobs`` settings.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import os
+import pickle
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Optional, Sequence
+
+from repro.bench.harness import RunResult, run_microbench
+from repro.bench.microbench import MicrobenchConfig
+from repro.vm.clock import CostModel
+from repro.vm.vmcore import VMOptions
+
+__all__ = [
+    "EngineStats",
+    "ResultCache",
+    "RunEngine",
+    "RunSpec",
+    "cache_key",
+    "execute_spec",
+    "source_digest",
+    "spec_key",
+]
+
+DEFAULT_CACHE_DIR = ".repro-bench-cache"
+
+
+# ------------------------------------------------------------ content keys
+def _feed(h: "hashlib._Hash", obj: Any) -> None:
+    """Feed a canonical, type-tagged encoding of ``obj`` into ``h``.
+
+    Only value-like shapes are accepted (scalars, bytes, sequences,
+    string-keyed mappings, dataclass instances); anything else — and in
+    particular anything whose identity could leak into the encoding —
+    raises ``TypeError`` so cache keys can never silently diverge
+    between processes or Python versions.
+    """
+    if obj is None:
+        h.update(b"N")
+    elif isinstance(obj, bool):
+        h.update(b"T" if obj else b"F")
+    elif isinstance(obj, int):
+        data = str(obj).encode()
+        h.update(b"i" + len(data).to_bytes(4, "big") + data)
+    elif isinstance(obj, float):
+        data = obj.hex().encode()
+        h.update(b"f" + len(data).to_bytes(4, "big") + data)
+    elif isinstance(obj, str):
+        data = obj.encode()
+        h.update(b"s" + len(data).to_bytes(4, "big") + data)
+    elif isinstance(obj, bytes):
+        h.update(b"b" + len(obj).to_bytes(4, "big") + obj)
+    elif dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        name = type(obj).__qualname__.encode()
+        h.update(b"D" + len(name).to_bytes(4, "big") + name)
+        for f in dataclasses.fields(obj):
+            _feed(h, f.name)
+            _feed(h, getattr(obj, f.name))
+    elif isinstance(obj, (tuple, list)):
+        h.update(b"l" + len(obj).to_bytes(4, "big"))
+        for item in obj:
+            _feed(h, item)
+    elif isinstance(obj, dict):
+        if not all(isinstance(k, str) for k in obj):
+            raise TypeError("cache keys support only str-keyed mappings")
+        h.update(b"d" + len(obj).to_bytes(4, "big"))
+        for k in sorted(obj):
+            _feed(h, k)
+            _feed(h, obj[k])
+    else:
+        raise TypeError(
+            f"cannot build a stable cache key from {type(obj).__name__}"
+        )
+
+
+def cache_key(*parts: Any) -> str:
+    """Hex digest of the canonical encoding of ``parts``."""
+    h = hashlib.sha256()
+    for part in parts:
+        _feed(h, part)
+    return h.hexdigest()
+
+
+_SOURCE_DIGEST: Optional[str] = None
+
+
+def source_digest() -> str:
+    """Digest of every ``*.py`` file under the installed ``repro`` package.
+
+    Folding this into each run's cache key invalidates the whole cache
+    whenever the simulator's source changes — the coarse but safe answer
+    to "is a cached RunResult still what this code would compute?".
+    Memoized per process (the tree does not change mid-run).
+    """
+    global _SOURCE_DIGEST
+    if _SOURCE_DIGEST is None:
+        import repro
+
+        root = Path(repro.__file__).resolve().parent
+        h = hashlib.sha256()
+        for path in sorted(root.rglob("*.py")):
+            rel = path.relative_to(root).as_posix().encode()
+            h.update(len(rel).to_bytes(4, "big") + rel)
+            data = path.read_bytes()
+            h.update(len(data).to_bytes(8, "big") + data)
+        _SOURCE_DIGEST = h.hexdigest()
+    return _SOURCE_DIGEST
+
+
+# ------------------------------------------------------------- disk cache
+class ResultCache:
+    """Content-addressed pickle store: one file per completed run."""
+
+    def __init__(self, directory: os.PathLike | str = DEFAULT_CACHE_DIR):
+        self.directory = Path(directory)
+
+    def _path(self, key: str) -> Path:
+        return self.directory / key[:2] / f"{key}.pkl"
+
+    def get(self, key: str) -> Optional[Any]:
+        """The cached value, or None on a miss (or an unreadable entry)."""
+        path = self._path(key)
+        try:
+            with open(path, "rb") as fh:
+                return pickle.load(fh)
+        except (OSError, pickle.UnpicklingError, EOFError,
+                AttributeError, ImportError):
+            return None
+
+    def put(self, key: str, value: Any) -> None:
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        # Write-then-rename: a crashed run can leave a stale temp file but
+        # never a truncated cache entry.
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        with open(tmp, "wb") as fh:
+            pickle.dump(value, fh, protocol=pickle.HIGHEST_PROTOCOL)
+        os.replace(tmp, path)
+
+
+# ------------------------------------------------------------------ stats
+@dataclass
+class EngineStats:
+    """Host-side observability for one engine (or one :meth:`map` call).
+
+    These numbers describe *how* the runs were executed — they never feed
+    back into RunResults, so serial and parallel reports stay identical.
+    """
+
+    jobs: int = 1
+    runs: int = 0
+    executed: int = 0
+    cache_hits: int = 0
+    #: summed per-run wall-clock seconds (worker-side, executed runs only)
+    run_wall: float = 0.0
+    #: host wall-clock seconds spent inside map() calls
+    host_wall: float = 0.0
+    #: worker-side wall-clock seconds per run (0.0 for cache hits),
+    #: in matrix order
+    run_walls: list[float] = field(default_factory=list, repr=False)
+
+    def merge(self, other: "EngineStats") -> None:
+        self.runs += other.runs
+        self.executed += other.executed
+        self.cache_hits += other.cache_hits
+        self.run_wall += other.run_wall
+        self.host_wall += other.host_wall
+        self.run_walls.extend(other.run_walls)
+
+    def render(self) -> str:
+        """One human line: the speedup evidence the reports cite."""
+        speedup = self.run_wall / self.host_wall if self.host_wall else 0.0
+        return (
+            f"engine: {self.runs} runs in {self.host_wall:.2f}s host "
+            f"wall (jobs={self.jobs}, {self.executed} executed, "
+            f"{self.cache_hits} cache hits); cumulative run wall "
+            f"{self.run_wall:.2f}s ({speedup:.2f}x vs host)"
+        )
+
+
+# ----------------------------------------------------------------- engine
+def _timed_call(fn: Callable[[Any], Any], item: Any) -> tuple[Any, float]:
+    """Worker entry point: run one task and report its wall clock."""
+    t0 = time.perf_counter()
+    result = fn(item)
+    return result, time.perf_counter() - t0
+
+
+def _env_jobs() -> int:
+    raw = os.environ.get("REPRO_BENCH_JOBS", "")
+    try:
+        jobs = int(raw)
+    except ValueError:
+        jobs = 0
+    return jobs if jobs >= 1 else (os.cpu_count() or 1)
+
+
+def _env_cache() -> Optional[ResultCache]:
+    if os.environ.get("REPRO_BENCH_CACHE", "").lower() in ("0", "off", "no"):
+        return None
+    return ResultCache(
+        os.environ.get("REPRO_BENCH_CACHE_DIR", DEFAULT_CACHE_DIR)
+    )
+
+
+class RunEngine:
+    """Deterministic fan-out/fan-in executor for pure benchmark runs.
+
+    ``jobs=1`` executes inline in this process (the historical serial
+    path — no pool, no pickling); ``jobs>1`` uses a process pool.  An
+    optional :class:`ResultCache` short-circuits runs whose key was
+    computed before.  ``stats`` accumulates over the engine's lifetime;
+    ``last_stats`` describes only the most recent :meth:`map` call.
+    """
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        cache: Optional[ResultCache] = None,
+    ):
+        if jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        self.jobs = jobs
+        self.cache = cache
+        self.stats = EngineStats(jobs=jobs)
+        self.last_stats = EngineStats(jobs=jobs)
+
+    @classmethod
+    def from_env(cls) -> "RunEngine":
+        """Build an engine from the ``REPRO_BENCH_*`` environment knobs."""
+        return cls(jobs=_env_jobs(), cache=_env_cache())
+
+    def map(
+        self,
+        fn: Callable[[Any], Any],
+        items: Sequence[Any],
+        *,
+        key_fn: Optional[Callable[[Any], str]] = None,
+    ) -> list[Any]:
+        """Run ``fn`` over ``items``; results come back in input order.
+
+        ``fn`` must be a module-level callable and every item picklable
+        when ``jobs > 1``.  With a cache and a ``key_fn``, cached items
+        are served without executing; fresh results are stored back.
+        """
+        t0 = time.perf_counter()
+        stats = EngineStats(jobs=self.jobs)
+        stats.runs = len(items)
+        stats.run_walls = [0.0] * len(items)
+        results: list[Any] = [None] * len(items)
+
+        pending: list[int] = []
+        keys: list[Optional[str]] = [None] * len(items)
+        for i, item in enumerate(items):
+            if self.cache is not None and key_fn is not None:
+                keys[i] = key_fn(item)
+                hit = self.cache.get(keys[i])
+                if hit is not None:
+                    results[i] = hit
+                    stats.cache_hits += 1
+                    continue
+            pending.append(i)
+
+        stats.executed = len(pending)
+        if self.jobs == 1 or len(pending) <= 1:
+            for i in pending:
+                results[i], wall = _timed_call(fn, items[i])
+                stats.run_walls[i] = wall
+                stats.run_wall += wall
+        else:
+            workers = min(self.jobs, len(pending))
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                futures = {
+                    pool.submit(_timed_call, fn, items[i]): i
+                    for i in pending
+                }
+                not_done = set(futures)
+                while not_done:
+                    done, not_done = wait(
+                        not_done, return_when=FIRST_COMPLETED
+                    )
+                    for fut in done:
+                        i = futures[fut]
+                        results[i], wall = fut.result()
+                        stats.run_walls[i] = wall
+                        stats.run_wall += wall
+
+        if self.cache is not None and key_fn is not None:
+            for i in pending:
+                if results[i] is not None:
+                    self.cache.put(keys[i], results[i])
+
+        stats.host_wall = time.perf_counter() - t0
+        self.last_stats = stats
+        self.stats.merge(stats)
+        return results
+
+
+# ----------------------------------------------------- micro-bench plumbing
+@dataclass(frozen=True)
+class RunSpec:
+    """Picklable description of one VM invocation of the micro-benchmark."""
+
+    config: MicrobenchConfig
+    mode: str = "unmodified"
+    options: Optional[VMOptions] = None
+    cost_model: Optional[CostModel] = None
+
+
+def execute_spec(spec: RunSpec) -> RunResult:
+    """Worker-side entry: build the VM and run one spec (pure function)."""
+    return run_microbench(
+        spec.config,
+        spec.mode,
+        options=spec.options,
+        cost_model=spec.cost_model,
+    )
+
+
+def spec_key(spec: RunSpec) -> str:
+    """Content address of one run: its inputs plus the source digest."""
+    return cache_key(
+        "microbench-run",
+        spec.config,
+        spec.mode,
+        spec.options,
+        spec.cost_model,
+        source_digest(),
+    )

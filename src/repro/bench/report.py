@@ -65,6 +65,24 @@ def render_panel(result: PanelResult, *, with_ci: bool = True) -> str:
     return f"{panel.title}\n\n{table}\n\n{chart}\n\n{summary}\n"
 
 
+def render_engine_stats(stats) -> str:
+    """Host-side execution summary: totals plus the per-run wall spread.
+
+    Rendered separately from :func:`render_panel` (callers print it on
+    stderr) so the measured report stays byte-identical no matter how the
+    runs were scheduled or cached.
+    """
+    lines = [stats.render()]
+    executed = [w for w in stats.run_walls if w > 0.0]
+    if executed:
+        mean = sum(executed) / len(executed)
+        lines.append(
+            f"per-run wall: min {min(executed):.3f}s / mean {mean:.3f}s / "
+            f"max {max(executed):.3f}s over {len(executed)} executed run(s)"
+        )
+    return "\n".join(lines)
+
+
 def panel_rows(result: PanelResult) -> list[dict]:
     """The panel's data as records (one per write ratio), ready for CSV or
     JSON export — both metrics, both VMs, with CI half-widths."""

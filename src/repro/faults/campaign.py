@@ -9,9 +9,15 @@ counters) holds no matter what the fault plane injected.
 The report is a pure function of ``(scenario set, seed range)``: two
 invocations with the same arguments must print byte-identical output.
 
+Cells fan out across worker processes via :mod:`repro.bench.parallel`
+(``--jobs`` / ``REPRO_BENCH_JOBS``); each cell is a pure function of
+``(scenario, seed)``, so the report stays byte-identical for any worker
+count and completed cells are served from the shared result cache.
+
 Usage::
 
     PYTHONPATH=src python -m repro.faults.campaign --seeds 25
+    PYTHONPATH=src python -m repro.faults.campaign --seeds 25 --jobs 4
     PYTHONPATH=src python -m repro.faults.campaign --seeds 5 --scenario storm-philosophers
 
 Exit status 0 when every run completed with zero violations, 1 otherwise.
@@ -203,6 +209,27 @@ def _scenarios() -> list[Scenario]:
 
 
 # ---------------------------------------------------------------- running
+def _campaign_cell(item: tuple[str, int]) -> dict:
+    """Worker entry for one (scenario, seed) cell.
+
+    Scenarios carry closures, so workers receive only the *name* and
+    rebuild the scenario from :func:`_scenarios` — the registry is source
+    code, hence identical in every process.
+    """
+    name, seed = item
+    scenario = {s.name: s for s in _scenarios()}[name]
+    return run_one(scenario, seed)
+
+
+def _cell_key(item: tuple[str, int]) -> str:
+    """Content address of one cell: identity + the repro source digest
+    (which covers the scenario definitions themselves)."""
+    from repro.bench.parallel import cache_key, source_digest
+
+    name, seed = item
+    return cache_key("campaign-cell", name, seed, source_digest())
+
+
 def run_one(scenario: Scenario, seed: int) -> dict:
     """Run one (scenario, seed) cell; returns its report fragment."""
     options = VMOptions(
@@ -242,23 +269,40 @@ def run_one(scenario: Scenario, seed: int) -> dict:
 
 
 def run_campaign(
-    seeds: int, scenario_filter: str | None = None
+    seeds: int, scenario_filter: str | None = None, *, engine=None
 ) -> dict:
     """Sweep seeds x scenarios; returns the aggregated (and deterministic)
-    campaign report."""
+    campaign report.
+
+    The (scenario x seed) matrix is enumerated up front and fanned out
+    through a :class:`repro.bench.parallel.RunEngine`; cells reduce back
+    in matrix order, so the report is byte-identical for any worker
+    count.  The default engine is serial and uncached.
+    """
+    from repro.bench.parallel import RunEngine
+
+    if engine is None:
+        engine = RunEngine(jobs=1)
     scenarios = _scenarios()
     if scenario_filter is not None:
         scenarios = [s for s in scenarios if s.name == scenario_filter]
         if not scenarios:
             raise SystemExit(f"unknown scenario {scenario_filter!r}")
+    matrix = [
+        (scenario.name, seed)
+        for scenario in scenarios
+        for seed in range(1, seeds + 1)
+    ]
+    cells = engine.map(_campaign_cell, matrix, key_fn=_cell_key)
     report: dict = {"seeds": seeds, "scenarios": {}, "violations": 0}
-    for scenario in scenarios:
+    for index, scenario in enumerate(scenarios):
         totals = {k: 0 for k in REPORTED_METRICS}
         injected: dict[str, int] = {}
         outcomes: dict[str, int] = {}
         violations: list[str] = []
-        for seed in range(1, seeds + 1):
-            cell = run_one(scenario, seed)
+        for offset in range(seeds):
+            seed = offset + 1
+            cell = cells[index * seeds + offset]
             outcomes[cell["outcome"]] = outcomes.get(cell["outcome"], 0) + 1
             for key, value in cell["metrics"].items():
                 totals[key] += value
@@ -289,9 +333,22 @@ def main(argv: list[str] | None = None) -> int:
         "--scenario", default=None,
         help="run only the named scenario",
     )
+    parser.add_argument(
+        "--jobs", type=int, default=None,
+        help="worker processes (default REPRO_BENCH_JOBS or cpu count; "
+             "1 = serial)",
+    )
     args = parser.parse_args(argv)
-    report = run_campaign(args.seeds, args.scenario)
+    from repro.bench.parallel import RunEngine
+
+    engine = RunEngine.from_env()
+    if args.jobs is not None:
+        engine = RunEngine(jobs=max(1, args.jobs), cache=engine.cache)
+    report = run_campaign(args.seeds, args.scenario, engine=engine)
     print(json.dumps(report, indent=2, sort_keys=True))
+    # stderr only: the stdout report must stay byte-identical across
+    # jobs/cache settings (the campaign's determinism contract).
+    print(engine.stats.render(), file=sys.stderr)
     if report["violations"]:
         print(
             f"FAIL: {report['violations']} invariant violation(s)",

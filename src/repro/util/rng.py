@@ -28,9 +28,21 @@ def derive_seed(base: int, *path: object) -> int:
     ``("rep", rep_index)``.  Derivation is order-sensitive and collision
     resistant enough for simulation purposes (FNV-1a over the repr of each
     path element, folded into the base seed).
+
+    Path elements are restricted to ``str``, ``int`` and ``bytes`` —
+    the only types whose ``repr`` is a stable cross-version, cross-process
+    contract.  Richer objects (floats, enums, dataclasses) are rejected
+    with ``TypeError``: their reprs can differ between Python versions or
+    leak process-local state (ids, addresses), which would silently
+    desynchronize seed streams between pool workers.
     """
     h = _FNV_OFFSET ^ (base & _MASK64)
     for part in path:
+        if not isinstance(part, (str, int, bytes)):
+            raise TypeError(
+                "derive_seed path elements must be str, int or bytes; "
+                f"got {type(part).__name__}: {part!r}"
+            )
         for byte in repr(part).encode():
             h ^= byte
             h = (h * _FNV_PRIME) & _MASK64
@@ -92,7 +104,7 @@ class DeterministicRng:
         u = 1.0 - self.random()  # in (0, 1]
         return -mean * math.log(u)
 
-    def spawn(self, *path: object) -> "DeterministicRng":
+    def spawn(self, *path: "str | int | bytes") -> "DeterministicRng":
         """Create an independent child stream identified by ``path``."""
         return DeterministicRng(derive_seed(self.seed, *path))
 

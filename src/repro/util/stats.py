@@ -2,37 +2,60 @@
 
 The paper (§4.1) reports the mean of five benchmark iterations with 90%
 confidence intervals; :func:`summarize` reproduces that methodology for any
-sample of repetitions.  Critical values come from a small embedded Student-t
-table (two-sided, 90%) so the module works without :mod:`scipy`; when scipy
-is importable we use its exact quantiles instead.
+sample of repetitions.
+
+Critical values come from the embedded Student-t table (two-sided, 90%,
+1..40 degrees of freedom), which is **authoritative**: every environment —
+with or without scipy, any scipy version — computes the same half-widths,
+so benchmark reports and EXPERIMENTS.md numbers are byte-stable.  Beyond
+the table the two-sided 90% normal quantile ``z = 1.645`` stands in; at
+41 degrees of freedom the exact t value is 1.683, so the half-width is
+understated by at most ~2.3% there and the error shrinks as 1/dof.
+
+Set ``REPRO_STATS_SCIPY=1`` to opt in to scipy's exact quantiles (any
+confidence level, any dof) — e.g. for offline analysis where exactness
+beats cross-environment reproducibility.  The opt-in raises ImportError
+when scipy is missing rather than silently falling back.
 """
 
 from __future__ import annotations
 
 import math
+import os
 from dataclasses import dataclass
 from typing import Sequence
 
-# Two-sided 90% critical values of Student's t for 1..30 degrees of freedom.
+# Two-sided 90% critical values of Student's t for 1..40 degrees of freedom.
 _T90 = [
     6.314, 2.920, 2.353, 2.132, 2.015, 1.943, 1.895, 1.860, 1.833, 1.812,
     1.796, 1.782, 1.771, 1.761, 1.753, 1.746, 1.740, 1.734, 1.729, 1.725,
     1.721, 1.717, 1.714, 1.711, 1.708, 1.706, 1.703, 1.701, 1.699, 1.697,
+    1.696, 1.694, 1.692, 1.691, 1.690, 1.688, 1.687, 1.686, 1.685, 1.684,
 ]
-_Z90 = 1.645  # normal approximation beyond the table
+_Z90 = 1.645  # normal approximation beyond the table (documented above)
+
+
+def _scipy_opted_in() -> bool:
+    return os.environ.get("REPRO_STATS_SCIPY", "").lower() in (
+        "1", "true", "yes", "on",
+    )
 
 
 def _t_critical(dof: int, confidence: float) -> float:
     if dof < 1:
         raise ValueError("need at least 2 samples for an interval")
-    try:  # exact when scipy is available
+    if _scipy_opted_in():
+        # Explicit opt-in only: a missing scipy must fail loudly here, not
+        # silently change which quantiles the reports are built from.
         from scipy import stats as _sps
 
         return float(_sps.t.ppf(0.5 + confidence / 2.0, dof))
-    except Exception:  # pragma: no cover - scipy is installed in CI
-        if abs(confidence - 0.90) > 1e-9:
-            raise ValueError("embedded table only covers 90% confidence")
-        return _T90[dof - 1] if dof <= len(_T90) else _Z90
+    if abs(confidence - 0.90) > 1e-9:
+        raise ValueError(
+            "embedded table only covers 90% confidence; set "
+            "REPRO_STATS_SCIPY=1 to opt in to scipy quantiles"
+        )
+    return _T90[dof - 1] if dof <= len(_T90) else _Z90
 
 
 @dataclass(frozen=True)

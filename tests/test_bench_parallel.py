@@ -1,0 +1,209 @@
+"""Tests for the parallel run engine (repro.bench.parallel).
+
+The engine's contract: execution strategy (worker count, cache) must never
+reach the measured results — serial and parallel sweeps render
+byte-identical reports, and a cache hit returns exactly what the run
+would have computed.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.bench import parallel as par
+from repro.bench.figures import FigurePanel, run_panel
+from repro.bench.harness import compare_modes, run_microbench
+from repro.bench.microbench import MicrobenchConfig
+from repro.bench.parallel import (
+    ResultCache,
+    RunEngine,
+    RunSpec,
+    cache_key,
+    execute_spec,
+    spec_key,
+)
+from repro.bench.report import panel_json, render_engine_stats, render_panel
+from repro.faults.campaign import run_campaign
+from repro.vm.clock import CostModel
+from repro.vm.vmcore import VMOptions
+
+#: quick configuration: full engine path, small virtual workload
+TINY = MicrobenchConfig(
+    high_threads=1,
+    low_threads=2,
+    iters_high=20,
+    iters_low=60,
+    sections=2,
+    seed=77,
+)
+
+PANEL_KW = dict(repetitions=2, write_ratios=(0, 100))
+
+
+def tiny_panel(engine, monkeypatch) -> object:
+    monkeypatch.setenv("REPRO_BENCH_SCALE", "0.2")
+    return run_panel(FigurePanel(5, "a"), engine=engine, **PANEL_KW)
+
+
+# -------------------------------------------------------------- equivalence
+class TestSerialParallelEquivalence:
+    def test_fig5_panel_reports_byte_identical(self, monkeypatch):
+        serial = tiny_panel(RunEngine(jobs=1), monkeypatch)
+        pooled = tiny_panel(RunEngine(jobs=4), monkeypatch)
+        assert render_panel(serial) == render_panel(pooled)
+        assert panel_json(serial) == panel_json(pooled)
+
+    def test_compare_modes_engine_matches_default(self):
+        default = compare_modes(TINY, repetitions=2)
+        pooled = compare_modes(TINY, repetitions=2, engine=RunEngine(jobs=4))
+        for mode in ("unmodified", "rollback"):
+            assert default.runs[mode] == pooled.runs[mode]
+
+    def test_campaign_report_identical_across_jobs(self):
+        serial = run_campaign(
+            2, "storm-philosophers", engine=RunEngine(jobs=1)
+        )
+        pooled = run_campaign(
+            2, "storm-philosophers", engine=RunEngine(jobs=2)
+        )
+        assert serial == pooled
+
+    def test_map_preserves_input_order(self):
+        engine = RunEngine(jobs=3)
+        items = [RunSpec(config=TINY, mode=m) for m in
+                 ("unmodified", "rollback", "unmodified", "rollback")]
+        results = engine.map(execute_spec, items)
+        assert [r.mode for r in results] == [s.mode for s in items]
+        assert results[0] == results[2]
+
+
+# -------------------------------------------------------------------- cache
+class TestResultCache:
+    def test_hit_on_unchanged_inputs(self, tmp_path):
+        first = RunEngine(jobs=1, cache=ResultCache(tmp_path))
+        a = compare_modes(TINY, repetitions=2, engine=first)
+        assert first.last_stats.cache_hits == 0
+        assert first.last_stats.executed == 4
+
+        second = RunEngine(jobs=1, cache=ResultCache(tmp_path))
+        b = compare_modes(TINY, repetitions=2, engine=second)
+        assert second.last_stats.cache_hits == 4
+        assert second.last_stats.executed == 0
+        assert a.runs == b.runs
+
+    def test_cached_result_equals_direct_run(self, tmp_path):
+        engine = RunEngine(jobs=1, cache=ResultCache(tmp_path))
+        compare_modes(TINY, repetitions=1, engine=engine)
+        cached = compare_modes(TINY, repetitions=1, engine=engine)
+        direct = compare_modes(TINY, repetitions=1)
+        assert cached.runs == direct.runs
+
+    def test_miss_when_cost_model_changes(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        e1 = RunEngine(jobs=1, cache=cache)
+        compare_modes(TINY, repetitions=1, engine=e1)
+        e2 = RunEngine(jobs=1, cache=cache)
+        compare_modes(
+            TINY, repetitions=1, engine=e2,
+            cost_model=CostModel().scaled(2.0),
+        )
+        assert e2.last_stats.cache_hits == 0
+        assert e2.last_stats.executed == 2
+
+    def test_miss_when_source_digest_changes(self, tmp_path, monkeypatch):
+        cache = ResultCache(tmp_path)
+        e1 = RunEngine(jobs=1, cache=cache)
+        compare_modes(TINY, repetitions=1, engine=e1)
+        # a changed source tree must invalidate every prior entry
+        monkeypatch.setattr(
+            par, "_SOURCE_DIGEST", "0" * 64
+        )
+        e2 = RunEngine(jobs=1, cache=cache)
+        compare_modes(TINY, repetitions=1, engine=e2)
+        assert e2.last_stats.cache_hits == 0
+        assert e2.last_stats.executed == 2
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = spec_key(RunSpec(config=TINY))
+        cache.put(key, {"ok": True})
+        cache._path(key).write_bytes(b"not a pickle")
+        assert cache.get(key) is None
+
+
+# ---------------------------------------------------------------- cache keys
+class TestCacheKeys:
+    def test_stable_across_calls(self):
+        spec = RunSpec(config=TINY, mode="rollback")
+        assert spec_key(spec) == spec_key(spec)
+
+    def test_sensitive_to_each_input(self):
+        base = RunSpec(config=TINY)
+        variants = [
+            RunSpec(config=TINY, mode="rollback"),
+            RunSpec(config=MicrobenchConfig(seed=78)),
+            RunSpec(config=TINY, options=VMOptions(scheduler="priority")),
+            RunSpec(config=TINY, cost_model=CostModel(quantum=9_000)),
+        ]
+        keys = {spec_key(s) for s in [base] + variants}
+        assert len(keys) == len(variants) + 1
+
+    def test_rejects_unencodable_objects(self):
+        with pytest.raises(TypeError):
+            cache_key(object())
+        with pytest.raises(TypeError):
+            cache_key({1: "non-str key"})
+
+    def test_distinguishes_value_shapes(self):
+        assert cache_key("ab", "c") != cache_key("a", "bc")
+        assert cache_key(1) != cache_key("1")
+        assert cache_key(True) != cache_key(1)
+        assert cache_key([1, 2]) != cache_key([2, 1])
+
+
+# ----------------------------------------------------------------- plumbing
+class TestPickling:
+    def test_run_result_roundtrip(self):
+        result = run_microbench(TINY)
+        clone = pickle.loads(pickle.dumps(result))
+        assert clone == result
+        assert clone.metrics == result.metrics
+
+    def test_spec_roundtrip(self):
+        spec = RunSpec(
+            config=TINY,
+            mode="rollback",
+            options=VMOptions(mode="rollback", seed=9),
+            cost_model=CostModel().scaled(0.5),
+        )
+        assert pickle.loads(pickle.dumps(spec)) == spec
+
+
+class TestEngineConfig:
+    def test_from_env_jobs_and_cache(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_JOBS", "3")
+        monkeypatch.setenv("REPRO_BENCH_CACHE_DIR", str(tmp_path))
+        engine = RunEngine.from_env()
+        assert engine.jobs == 3
+        assert engine.cache is not None
+        assert engine.cache.directory == tmp_path
+
+    def test_from_env_cache_off(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_CACHE", "0")
+        assert RunEngine.from_env().cache is None
+
+    def test_rejects_nonpositive_jobs(self):
+        with pytest.raises(ValueError):
+            RunEngine(jobs=0)
+
+    def test_stats_accumulate_and_render(self, tmp_path):
+        engine = RunEngine(jobs=1, cache=ResultCache(tmp_path))
+        compare_modes(TINY, repetitions=1, engine=engine)
+        compare_modes(TINY, repetitions=1, engine=engine)
+        assert engine.stats.runs == 4
+        assert engine.stats.executed == 2
+        assert engine.stats.cache_hits == 2
+        text = render_engine_stats(engine.last_stats)
+        assert "2 cache hits" in text

@@ -101,6 +101,34 @@ class TestDerivation:
     def test_derive_order_sensitive(self):
         assert derive_seed(1, "a", "b") != derive_seed(1, "b", "a")
 
+    def test_derive_pinned_golden_values(self):
+        """Seed derivation is a cross-version, cross-process contract:
+        these exact values must never change (they anchor every
+        benchmark number and the parallel engine's cache keys)."""
+        assert derive_seed(42, "thread", 3) == 3168927947649419450
+        assert derive_seed(0x5EED, "rep", 1) == 18408472694590742212
+        assert derive_seed(7, b"x") == 9223092079984049216
+
+    def test_derive_rejects_unstable_path_types(self):
+        """Reprs of floats, enums and dataclasses are not stable
+        contracts; such path elements must be rejected loudly."""
+        import enum
+        from dataclasses import dataclass
+
+        class Color(enum.Enum):
+            RED = 1
+
+        @dataclass
+        class Box:
+            x: int = 0
+
+        for bad in (1.5, None, Color.RED, Box(), ("a",), ["a"], {"a": 1}):
+            with pytest.raises(TypeError):
+                derive_seed(42, bad)
+
+    def test_derive_accepts_str_int_bytes(self):
+        assert derive_seed(1, "s", 2, b"b") == derive_seed(1, "s", 2, b"b")
+
     def test_spawn_creates_independent_stream(self):
         parent = DeterministicRng(5)
         child = parent.spawn("x")

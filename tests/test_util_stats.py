@@ -57,6 +57,41 @@ class TestSummarize:
         assert "n=3" in str(summarize([1.0, 2.0, 3.0]))
 
 
+class TestTCritical:
+    def test_embedded_table_used_even_with_scipy(self, monkeypatch):
+        """Without the explicit opt-in the table is authoritative: any
+        non-90% confidence must fail, even when scipy is importable."""
+        monkeypatch.delenv("REPRO_STATS_SCIPY", raising=False)
+        with pytest.raises(ValueError):
+            summarize([1.0, 2.0, 3.0], confidence=0.95)
+
+    def test_z_fallback_beyond_table(self, monkeypatch):
+        monkeypatch.delenv("REPRO_STATS_SCIPY", raising=False)
+        from repro.util.stats import _T90, _Z90, _t_critical
+
+        assert _t_critical(len(_T90), 0.90) == _T90[-1]
+        assert _t_critical(len(_T90) + 1, 0.90) == _Z90
+
+    def test_table_matches_scipy(self):
+        """Table-vs-exact parity: the embedded values are scipy's
+        quantiles rounded to the table's precision."""
+        scipy_stats = pytest.importorskip("scipy.stats")
+        from repro.util.stats import _T90
+
+        for dof, tabulated in enumerate(_T90, start=1):
+            exact = float(scipy_stats.t.ppf(0.95, dof))
+            assert tabulated == pytest.approx(exact, abs=2e-3), dof
+
+    def test_scipy_opt_in(self, monkeypatch):
+        scipy_stats = pytest.importorskip("scipy.stats")
+        monkeypatch.setenv("REPRO_STATS_SCIPY", "1")
+        s = summarize([1.0, 2.0, 3.0, 4.0, 5.0], confidence=0.95)
+        expected = float(scipy_stats.t.ppf(0.975, 4))
+        assert s.ci_halfwidth == pytest.approx(
+            expected * math.sqrt(2.5) / math.sqrt(5)
+        )
+
+
 class TestConfidenceInterval:
     def test_returns_low_high(self):
         lo, hi = confidence_interval([5.0, 6.0, 7.0])
