@@ -1,0 +1,215 @@
+"""Command-line schedule checker.
+
+Usage::
+
+    PYTHONPATH=src python -m repro.check --scenario handoff --bound 2
+    PYTHONPATH=src python -m repro.check --scenario barge --bound 2 --jobs 4
+    PYTHONPATH=src python -m repro.check --scenario handoff --bound 1 \\
+        --inject-bug undo-drop --out counterexample.json
+    PYTHONPATH=src python -m repro.check --replay counterexample.json
+    PYTHONPATH=src python -m repro.check --lockset fig5
+    PYTHONPATH=src python -m repro.check --lockset racy-yield
+
+Exit status 0 when the oracle saw no divergence (or the lockset pass saw
+no race/inversion), 1 otherwise.  Everything on stdout is a pure function
+of the arguments — byte-identical across ``REPRO_BENCH_JOBS`` settings and
+cache state; engine statistics go to stderr.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.check.explorer import DEFAULT_MODES, INJECTABLE_BUGS, explore
+from repro.check.minimize import minimize_counterexample
+from repro.check.oracle import (
+    counterexample_payload,
+    replay_counterexample,
+)
+from repro.check.scenarios import scenarios
+
+
+def _parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.check",
+        description="schedule exploration with a cross-policy "
+                    "differential oracle",
+    )
+    parser.add_argument(
+        "--scenario", default="handoff",
+        help="check scenario to explore (see --list; default handoff)",
+    )
+    parser.add_argument(
+        "--bound", type=int, default=2,
+        help="preemption bound for exhaustive exploration (default 2)",
+    )
+    parser.add_argument(
+        "--walks", type=int, default=0,
+        help="additional seeded random-walk schedules (default 0)",
+    )
+    parser.add_argument(
+        "--walk-bound", type=int, default=None,
+        help="preemption budget for walks (default: same as --bound)",
+    )
+    parser.add_argument(
+        "--modes", default=",".join(DEFAULT_MODES),
+        help="comma-separated policies; the first is the reference "
+             f"(default {','.join(DEFAULT_MODES)})",
+    )
+    parser.add_argument(
+        "--inject-bug", default=None, choices=INJECTABLE_BUGS,
+        help="enable a seeded defect so the oracle has something to find",
+    )
+    parser.add_argument(
+        "--no-minimize", action="store_true",
+        help="skip ddmin minimization of the first divergence",
+    )
+    parser.add_argument(
+        "--out", default="check-counterexample.json",
+        help="where to write the counterexample on divergence",
+    )
+    parser.add_argument(
+        "--replay", default=None, metavar="PATH",
+        help="replay a serialized counterexample instead of exploring",
+    )
+    parser.add_argument(
+        "--lockset", default=None, metavar="TARGET",
+        help="run the Eraser-style lockset pass over TARGET (a scenario "
+             "name, or 'fig5' for the micro-benchmark) instead of "
+             "exploring",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=None,
+        help="worker processes (default REPRO_BENCH_JOBS or cpu count; "
+             "1 = serial)",
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list scenarios and exit"
+    )
+    return parser
+
+
+def _engine(jobs: int | None):
+    from repro.bench.parallel import RunEngine
+
+    engine = RunEngine.from_env()
+    if jobs is not None:
+        engine = RunEngine(jobs=max(1, jobs), cache=engine.cache)
+    return engine
+
+
+def _cmd_list() -> int:
+    for name, scenario in sorted(scenarios().items()):
+        print(f"{name}: {scenario.description}")
+    return 0
+
+
+def _cmd_replay(path: str) -> int:
+    with open(path, "r", encoding="utf-8") as fh:
+        payload = json.load(fh)
+    verdict = replay_counterexample(payload)
+    result = verdict["result"]
+    print(f"replay: scenario={payload['scenario']} "
+          f"schedule={payload['minimized_schedule']}")
+    for mode in payload["modes"]:
+        print(f"  {mode}: outcome={result['outcomes'][mode]} "
+              f"digest={result['digests'][mode]}")
+    for problem in result["problems"]:
+        print(f"  problem: {problem}")
+    if verdict["reproduced"]:
+        print("divergence reproduced")
+        return 0
+    print("divergence did NOT reproduce")
+    return 1
+
+
+def _cmd_lockset(target: str) -> int:
+    if target == "fig5":
+        from repro.check.lockset import run_lockset_fig5
+
+        report = run_lockset_fig5()
+    else:
+        from repro.check.lockset import run_lockset_scenario
+
+        report = run_lockset_scenario(target)
+    print(json.dumps(report, indent=2, sort_keys=True))
+    bad = len(report["races"]) + len(report["lock_order_inversions"])
+    if bad:
+        print(f"FAIL: {len(report['races'])} race(s), "
+              f"{len(report['lock_order_inversions'])} lock-order "
+              "inversion(s)", file=sys.stderr)
+        return 1
+    print("OK: no races, no lock-order inversions", file=sys.stderr)
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _parser().parse_args(argv)
+    if args.list:
+        return _cmd_list()
+    if args.replay is not None:
+        return _cmd_replay(args.replay)
+    if args.lockset is not None:
+        return _cmd_lockset(args.lockset)
+
+    modes = tuple(m.strip() for m in args.modes.split(",") if m.strip())
+    engine = _engine(args.jobs)
+    report = explore(
+        args.scenario,
+        args.bound,
+        modes=modes,
+        inject=args.inject_bug,
+        walks=args.walks,
+        walk_bound=args.walk_bound,
+        engine=engine,
+    )
+    print(f"repro.check scenario={report.scenario} bound={report.bound} "
+          f"modes={','.join(report.modes)}"
+          + (f" inject={args.inject_bug}" if args.inject_bug else ""))
+    print(f"schedules: {report.schedules} exhaustive + {report.walks} "
+          f"walks ({report.distinct_schedules} distinct), "
+          f"max {report.max_decisions} decisions")
+    print(f"states: {report.distinct_states} distinct final state(s) "
+          f"under {report.modes[0]}")
+    for mode in report.modes:
+        summary = ", ".join(
+            f"{outcome}={count}"
+            for outcome, count in report.policy_outcomes[mode].items()
+        )
+        print(f"  {mode}: {summary}")
+    print(f"divergences: {len(report.divergences)}")
+    print(engine.stats.render(), file=sys.stderr)
+    if not report.divergences:
+        print("OK: all explored schedules are policy-equivalent")
+        return 0
+
+    first = report.divergences[0]
+    for problem in first["problems"]:
+        print(f"  problem: {problem}")
+    schedule = list(first["schedule"])
+    minimized = schedule
+    if not args.no_minimize:
+        minimized = minimize_counterexample(
+            args.scenario, schedule, modes=modes, inject=args.inject_bug,
+        )
+    payload = counterexample_payload(
+        scenario=args.scenario,
+        bound=args.bound,
+        modes=modes,
+        inject=args.inject_bug,
+        result=first,
+        minimized=minimized,
+    )
+    with open(args.out, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"counterexample: schedule of {len(schedule)} choices "
+          f"minimized to {len(minimized)}, written to {args.out}")
+    print(f"FAIL: {len(report.divergences)} divergent schedule(s)")
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

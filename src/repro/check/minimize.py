@@ -1,0 +1,77 @@
+"""Delta-debugging minimization of schedule choice lists.
+
+A counterexample schedule from the explorer is typically padded with
+choices that merely replay the default policy.  Classic ddmin (Zeller &
+Hildebrandt) shrinks the choice list to a locally 1-minimal subsequence
+that still reproduces the divergence: remove chunks at decreasing
+granularity, keeping any removal that still fails the oracle.
+
+Removing *interior* choices is sound because the controller treats the
+choice list as advisory: a choice that no longer matches a candidate set
+falls back to the default policy (drift), so every subsequence is a valid
+schedule — it just may reproduce or not, which is exactly what the test
+predicate decides.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Sequence
+
+
+def ddmin(
+    test: Callable[[list[int]], bool], schedule: Sequence[int]
+) -> list[int]:
+    """Smallest (locally 1-minimal) subsequence of ``schedule`` for which
+    ``test`` still returns True.
+
+    ``test`` must be deterministic and must hold for ``schedule`` itself.
+    """
+    current = list(schedule)
+    if not test(current):
+        raise ValueError("initial schedule does not satisfy the predicate")
+    granularity = 2
+    while len(current) >= 2:
+        chunk = math.ceil(len(current) / granularity)
+        reduced = False
+        for start in range(0, len(current), chunk):
+            candidate = current[:start] + current[start + chunk:]
+            if test(candidate):
+                current = candidate
+                granularity = max(2, granularity - 1)
+                reduced = True
+                break
+        if not reduced:
+            if granularity >= len(current):
+                break
+            granularity = min(len(current), granularity * 2)
+    if len(current) == 1 and test([]):
+        current = []
+    return current
+
+
+def minimize_counterexample(
+    scenario: str,
+    schedule: Sequence[int],
+    *,
+    modes: tuple[str, ...],
+    inject: str | None = None,
+) -> list[int]:
+    """ddmin a divergent schedule down to a minimal reproducing prefix.
+
+    The predicate re-runs the full differential cell (reference policy
+    plus projections) for each candidate choice list — slow but exact,
+    and every probe is deterministic, so the minimized schedule is too.
+    """
+    from repro.check.explorer import CheckItem, run_check_cell
+
+    def reproduces(candidate: list[int]) -> bool:
+        item = CheckItem(
+            scenario=scenario,
+            prefix=tuple(candidate),
+            modes=modes,
+            inject=inject,
+        )
+        return bool(run_check_cell(item)["problems"])
+
+    return ddmin(reproduces, schedule)

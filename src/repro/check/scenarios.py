@@ -1,0 +1,222 @@
+"""Small guest programs for schedule exploration.
+
+Exploration cost is exponential in program length, so these scenarios are
+deliberately tiny: a handful of threads, two or three yield points per
+critical section.  What matters is that each one embodies a distinct
+synchronization shape:
+
+* ``handoff`` — the paper's core scenario: a low-priority and a
+  high-priority thread contend on one lock around a shared counter.
+  Preemptive schedules make the high thread arrive mid-section, which
+  (on the rollback VM) triggers inversion detection and revocation; the
+  counter's final value must nevertheless equal the fixed total under
+  *every* policy — the serializability claim in miniature (§3).
+* ``barge`` — three priorities on one lock: exercises the prioritized
+  entry queue and multi-candidate scheduling decisions.
+* ``racy-yield`` — increments with *no* lock and an explicit yield
+  between read and write: the classic lost-update race.  Final states
+  legitimately differ across schedules (but never across policies for
+  one schedule); the lockset pass must flag the race.
+* ``lock-order`` — two locks acquired in opposite orders by two threads:
+  feeds the lock-order-inversion detector; some schedules deadlock under
+  blocking policies while revocation resolves them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Optional
+
+from repro.bench.workloads import Workload
+from repro.vm.assembler import Asm
+from repro.vm.classfile import ClassDef, FieldDef
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.vm.vmcore import JVM
+
+
+@dataclass(frozen=True)
+class CheckScenario:
+    """One explorable guest program plus its oracle expectations."""
+
+    name: str
+    description: str
+    build: Callable[[], Workload]
+    #: VMOptions overrides applied identically in every policy mode
+    options: dict = field(default_factory=dict)
+    #: expected final static values ``(class, field) -> value`` asserted on
+    #: the reference run of every schedule (None = schedule-dependent)
+    expected_statics: Optional[dict] = None
+
+
+def _counter_increments(run: Asm, cls: str, i: int, iters_arg: int,
+                        *, yield_between: bool) -> None:
+    """Emit ``for (i = 0; i < iters; i++) counter++`` with an optional
+    explicit yield between the read and the write of the counter."""
+    def increment() -> None:
+        run.getstatic(cls, "counter")
+        if yield_between:
+            run.yield_()
+        run.const(1).add()
+        run.putstatic(cls, "counter")
+
+    run.for_range(i, lambda: run.load(iters_arg), increment)
+
+
+def build_locked_counter(
+    cls_name: str,
+    spawns: list[tuple[int, str]],
+    *,
+    sections: int = 2,
+    iters: int = 2,
+) -> Workload:
+    """``spawns`` threads each run ``sections`` synchronized sections on one
+    shared lock, incrementing a static counter ``iters`` times per section.
+    Final counter = ``len(spawns) * sections * iters`` in any legal
+    serialization."""
+    cls = ClassDef(
+        cls_name,
+        fields=[
+            FieldDef("lock", "ref", is_static=True),
+            FieldDef("counter", "int", is_static=True),
+        ],
+    )
+    run = Asm("run", argc=1)
+    iters_arg = run.arg(0)
+    s = run.local("s")
+    i = run.local("i")
+
+    def section_body() -> None:
+        run.getstatic(cls_name, "lock")
+        with run.sync():
+            _counter_increments(run, cls_name, i, iters_arg,
+                                yield_between=False)
+
+    run.for_range(s, lambda: run.const(sections), section_body)
+    run.ret()
+    cls.add_method(run.build())
+
+    def setup(vm: "JVM") -> None:
+        vm.set_static(cls_name, "lock", vm.new_object(cls_name))
+
+    return Workload(
+        name=cls_name.lower(),
+        classdef=cls,
+        setup=setup,
+        spawns=[
+            ("run", [iters], priority, name) for priority, name in spawns
+        ],
+    )
+
+
+def build_racy_counter(*, iters: int = 3) -> Workload:
+    """Two threads increment an unprotected counter with a yield between
+    the read and the write: lost updates under preemptive schedules."""
+    cls = ClassDef(
+        "Racy", fields=[FieldDef("counter", "int", is_static=True)]
+    )
+    run = Asm("run", argc=1)
+    iters_arg = run.arg(0)
+    i = run.local("i")
+    _counter_increments(run, "Racy", i, iters_arg, yield_between=True)
+    run.ret()
+    cls.add_method(run.build())
+    return Workload(
+        name="racy",
+        classdef=cls,
+        setup=lambda vm: None,
+        spawns=[("run", [iters], 5, "t1"), ("run", [iters], 5, "t2")],
+    )
+
+
+def build_lock_order(*, iters: int = 2) -> Workload:
+    """Two threads nest two locks in opposite orders (deadlock-prone)."""
+    cls = ClassDef(
+        "LockOrder",
+        fields=[
+            FieldDef("locks", "ref", is_static=True),
+            FieldDef("counter", "int", is_static=True),
+        ],
+    )
+    run = Asm("run", argc=2)
+    first, second = run.arg(0), run.arg(1)
+    i = run.local("i")
+    iters_local = run.local("n")
+    run.const(iters).store(iters_local)
+    run.getstatic("LockOrder", "locks").load(first).aload()
+    with run.sync():
+        run.getstatic("LockOrder", "locks").load(second).aload()
+        with run.sync():
+            _counter_increments(run, "LockOrder", i, iters_local,
+                                yield_between=False)
+    run.ret()
+    cls.add_method(run.build())
+
+    def setup(vm: "JVM") -> None:
+        locks = vm.new_array(2)
+        locks.put(0, vm.new_object("LockOrder"))
+        locks.put(1, vm.new_object("LockOrder"))
+        vm.set_static("LockOrder", "locks", locks)
+
+    return Workload(
+        name="lock-order",
+        classdef=cls,
+        setup=setup,
+        spawns=[("run", [0, 1], 5, "t1"), ("run", [1, 0], 5, "t2")],
+    )
+
+
+def _scenario_list() -> list[CheckScenario]:
+    return [
+        CheckScenario(
+            name="handoff",
+            description="low/high contention on one lock; revocation "
+                        "hand-off must preserve the counter total",
+            build=lambda: build_locked_counter(
+                "Handoff", [(1, "low"), (10, "high")],
+                sections=2, iters=2,
+            ),
+            expected_statics={("Handoff", "counter"): 2 * 2 * 2},
+        ),
+        CheckScenario(
+            name="barge",
+            description="three priorities barging on one lock",
+            build=lambda: build_locked_counter(
+                "Barge", [(2, "t-lo"), (5, "t-mid"), (9, "t-hi")],
+                sections=1, iters=2,
+            ),
+            expected_statics={("Barge", "counter"): 3 * 1 * 2},
+        ),
+        CheckScenario(
+            name="racy-yield",
+            description="unprotected read-yield-write increments: lost "
+                        "updates across schedules, a data race for the "
+                        "lockset pass",
+            build=lambda: build_racy_counter(iters=3),
+            expected_statics=None,
+        ),
+        CheckScenario(
+            name="lock-order",
+            description="opposite-order nested locks: lock-order "
+                        "inversion, deadlock-prone under blocking "
+                        "policies",
+            build=lambda: build_lock_order(iters=2),
+            expected_statics=None,
+        ),
+    ]
+
+
+def scenarios() -> dict[str, CheckScenario]:
+    """The scenario registry (rebuilt on demand; source-identical in every
+    worker process, like the campaign's)."""
+    return {s.name: s for s in _scenario_list()}
+
+
+def get_scenario(name: str) -> CheckScenario:
+    try:
+        return scenarios()[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown check scenario {name!r}; "
+            f"known: {', '.join(sorted(scenarios()))}"
+        ) from None

@@ -118,6 +118,18 @@ class InheritanceSupport(RuntimeSupport):
             recompute_inheritance(self.vm, new_owner)
         return 0
 
+    def state_fingerprint(self) -> dict:
+        violations = [
+            f"thread {t.name} retains inherited priority "
+            f"{t.inherited_priority} after quiescence"
+            for t in self.vm.threads
+            if t.inherited_priority != -1
+        ]
+        return {
+            "violations": violations,
+            "donations": self.metrics.priority_donations,
+        }
+
     def collect_metrics(self) -> dict[str, int]:
         return self.metrics.as_dict()
 
@@ -187,6 +199,18 @@ class CeilingSupport(RuntimeSupport):
         if thread.ceiling_boost != best:
             thread.ceiling_boost = best
             self.vm.scheduler.on_priority_changed(thread)
+
+    def state_fingerprint(self) -> dict:
+        violations = [
+            f"thread {t.name} retains ceiling boost {t.ceiling_boost} "
+            "after quiescence"
+            for t in self.vm.threads
+            if t.ceiling_boost != -1
+        ]
+        return {
+            "violations": violations,
+            "boosts": self.metrics.ceiling_boosts,
+        }
 
     def collect_metrics(self) -> dict[str, int]:
         return self.metrics.as_dict()

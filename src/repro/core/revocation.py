@@ -280,6 +280,7 @@ class RollbackSupport(RuntimeSupport):
         plane = self.vm.fault_plane
         if plane is not None:
             plane.perturb_undo(self, thread, target)
+            plane.drop_undo(self, thread, target)
         # Process the undo log in reverse, *before any lock is released*
         # (§3.1.2) — partial results never become visible to other threads.
         log = self._log(thread)
@@ -552,6 +553,32 @@ class RollbackSupport(RuntimeSupport):
         )
         self.vm.scheduler.wake_for_revocation(victim)
         return True
+
+    # -------------------------------------------------------------- checking
+    def state_fingerprint(self) -> dict:
+        """Rollback-runtime quiescence report for the differential oracle.
+
+        On a clean run every section has committed (``thread.sections``
+        empty) and every undo log drained (committed at outermost exit or
+        restored by rollback) — anything left over means a section's
+        effects escaped the commit/revoke protocol."""
+        violations: list[str] = []
+        for t in self.vm.threads:
+            if t.sections:
+                violations.append(
+                    f"thread {t.name} quiesced with {len(t.sections)} "
+                    "uncommitted section(s)"
+                )
+            log = t.undo_log
+            if log is not None and len(log) > 0:
+                violations.append(
+                    f"thread {t.name} quiesced with {len(log)} undrained "
+                    "undo entries"
+                )
+        return {
+            "violations": violations,
+            "revocations_completed": self.metrics.revocations_completed,
+        }
 
     # --------------------------------------------------------------- metrics
     def collect_metrics(self) -> dict[str, int]:

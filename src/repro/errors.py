@@ -84,6 +84,24 @@ class DeadlockError(ReproError):
         )
 
 
+class ScheduleError(ReproError):
+    """A scheduler decision hook made an unserviceable choice.
+
+    Raised when the hook returns a thread id that is not among the ready
+    candidates it was offered — a blocked, sleeping, dead or unknown
+    thread.  Carries both sides so exploration tooling can print the
+    decision that went wrong.
+    """
+
+    def __init__(self, chosen: object, candidates: list[int]):
+        self.chosen = chosen
+        self.candidates = list(candidates)
+        super().__init__(
+            f"decision hook chose thread id {chosen!r}; ready candidates "
+            f"are {self.candidates}"
+        )
+
+
 class StarvationError(ReproError):
     """The VM ran past its configured cycle budget without quiescing.
 

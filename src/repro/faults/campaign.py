@@ -46,6 +46,7 @@ from repro.errors import (
     StarvationError,
 )
 from repro.faults.plane import FaultPlan
+from repro.util.rng import sweep_seed
 from repro.vm.vmcore import JVM, VMOptions
 
 #: host-time safety valve per run (virtual cycles)
@@ -230,11 +231,17 @@ def _cell_key(item: tuple[str, int]) -> str:
     return cache_key("campaign-cell", name, seed, source_digest())
 
 
-def run_one(scenario: Scenario, seed: int) -> dict:
-    """Run one (scenario, seed) cell; returns its report fragment."""
+def run_one(scenario: Scenario, index: int) -> dict:
+    """Run one (scenario, sweep-index) cell; returns its report fragment.
+
+    The VM seed follows the repo-wide seed-namespace convention
+    (:func:`repro.util.rng.sweep_seed`): cell ``index`` of scenario ``s``
+    always runs under ``sweep_seed("campaign", s, index)``, independent
+    of scenario ordering or any other tool's sweeps.
+    """
     options = VMOptions(
         mode="rollback",
-        seed=seed,
+        seed=sweep_seed("campaign", scenario.name, index),
         trace=False,
         audit_rollbacks=True,
         max_cycles=CYCLE_CAP,

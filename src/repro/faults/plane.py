@@ -34,6 +34,16 @@ Fault kinds and where the VM consults the plane:
     duplicate first and still finishes on the oldest entry per location —
     so the invariant auditor must keep passing; a matching JMM write
     record is pushed so the extra undo's pop is net-zero.
+
+``undo_drop``
+    Just before a rollback processes the undo log (:meth:`drop_undo`):
+    silently delete one entry from the rolling-back segment, so the
+    revocation leaves one store of the aborted section visible — a
+    *genuine* serializability bug, the opposite of ``undo_perturb``.
+    This kind exists as a seeded defect for the differential oracle
+    (:mod:`repro.check.oracle`) to catch and minimize; robustness
+    campaigns must never enable it (the invariant auditor rightly flags
+    the corruption).
 """
 
 from __future__ import annotations
@@ -67,6 +77,10 @@ class FaultPlan:
     handoff_delay_cycles: int = 2_000
     #: per-rollback probability of a benign undo-log perturbation
     undo_perturb_rate: float = 0.0
+    #: per-rollback probability of *losing* one undo entry (a seeded,
+    #: genuinely corrupting bug for the differential oracle; see module
+    #: docstring) — never enable in correctness campaigns
+    undo_drop_rate: float = 0.0
     #: total injections across all kinds (0 = unlimited)
     max_injections: int = 0
 
@@ -76,6 +90,7 @@ class FaultPlan:
             "revocation_storm_rate",
             "handoff_delay_rate",
             "undo_perturb_rate",
+            "undo_drop_rate",
         ):
             rate = getattr(self, name)
             if not (0.0 <= rate <= 1.0):
@@ -89,6 +104,7 @@ class FaultPlan:
             or self.revocation_storm_rate > 0
             or self.handoff_delay_rate > 0
             or self.undo_perturb_rate > 0
+            or self.undo_drop_rate > 0
         )
 
 
@@ -191,3 +207,26 @@ class FaultPlane:
             support._active_tuple(thread),
         )
         self._record("undo_perturb", thread)
+
+    def drop_undo(
+        self,
+        support: "RollbackSupport",
+        thread: "VMThread",
+        target: "Section",
+    ) -> None:
+        """Delete one undo entry of the section about to roll back.
+
+        The corresponding store survives the revocation — a seeded
+        serializability defect for the differential oracle.  No JMM
+        rebalancing is attempted: the corruption is the point."""
+        rate = self.plan.undo_drop_rate
+        if rate <= 0.0 or self._exhausted():
+            return
+        log = thread.undo_log
+        if log is None or len(log) <= target.log_mark:
+            return
+        if self.rng.random() >= rate:
+            return
+        idx = self.rng.randint(target.log_mark, len(log.entries) - 1)
+        del log.entries[idx]
+        self._record("undo_drop", thread)

@@ -50,6 +50,36 @@ def derive_seed(base: int, *path: object) -> int:
     return h or 0x9E3779B97F4A7C15
 
 
+#: Default base seed for tool-level sweeps (matches ``VMOptions.seed``).
+SWEEP_BASE = 0x5EED
+
+
+def sweep_seed(namespace: str, scenario: str, index: int, *,
+               base: int = SWEEP_BASE) -> int:
+    """Derive the VM seed for one cell of a named sweep.
+
+    The repo-wide *seed-namespace convention*: every tool that sweeps a
+    scenario over an index range — the fault campaign
+    (:mod:`repro.faults.campaign`), the schedule checker's random walks
+    (:mod:`repro.check`) — derives its per-cell VM seeds as
+    ``derive_seed(base, namespace, scenario, index)``:
+
+    * ``namespace`` names the tool (``"campaign"``, ``"check"``, ...), so
+      two tools sweeping the same scenario never share seed streams;
+    * ``scenario`` is the scenario's registry name, so reordering or
+      extending the scenario set never perturbs existing cells;
+    * ``index`` is the cell's ordinal within the sweep (1-based for the
+      campaign's ``--seeds`` range, 0-based for schedule walks — each
+      tool documents its own origin, the derivation only needs it
+      stable).
+
+    The derived values are part of the determinism contract (reports and
+    cached cells are keyed by them); ``tests/test_util_rng.py`` pins
+    exact values so accidental drift fails loudly.
+    """
+    return derive_seed(base, namespace, scenario, index)
+
+
 class DeterministicRng:
     """xorshift64* pseudo-random generator with convenience draws."""
 

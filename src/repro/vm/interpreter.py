@@ -25,7 +25,7 @@ from typing import Optional
 from repro.errors import GuestRuntimeError, ReproError, StarvationError
 from repro.vm import bytecode as bc
 from repro.vm.classfile import MethodDef, ROLLBACK_TYPE, THROWABLE
-from repro.vm.heap import VMArray, VMObject, require_ref
+from repro.vm.heap import VMArray, VMObject, location_of, require_ref
 from repro.vm.monitors import Monitor, monitor_of
 from repro.vm.threads import (
     Frame,
@@ -70,6 +70,8 @@ class Interpreter:
         self.read_barriers = vm.options.modified
         self._prioritized = vm.options.prioritized_queues
         self._handoff = vm.options.direct_handoff
+        #: stream mem_read/mem_write trace events (lockset analysis)
+        self._trace_mem = vm.options.trace and vm.options.trace_memory
 
     # ------------------------------------------------------------------ API
     def run_slice(self, thread: VMThread) -> str:
@@ -97,6 +99,7 @@ class Interpreter:
         quantum = self.cost_model.quantum
         cm = self.cost_model
         read_barriers = self.read_barriers
+        trace_mem = self._trace_mem
         max_cycles = vm.options.max_cycles
         faults = vm.fault_plane
 
@@ -220,6 +223,11 @@ class Interpreter:
                             acc += support.after_load(
                                 thread, obj, ins.a, fd.volatile
                             )
+                        if trace_mem:
+                            vm.trace(
+                                "mem_read", thread,
+                                loc=location_of(obj, ins.a),
+                            )
                         pc += 1
                     elif op == bc.PUTFIELD:
                         val = stack.pop()
@@ -230,6 +238,11 @@ class Interpreter:
                             acc += support.before_store(
                                 thread, obj, ins.a, old, fd.volatile
                             )
+                        if trace_mem:
+                            vm.trace(
+                                "mem_write", thread,
+                                loc=location_of(obj, ins.a),
+                            )
                         pc += 1
                     elif op == bc.ALOAD:
                         idx = stack.pop()
@@ -237,6 +250,11 @@ class Interpreter:
                         stack.append(arr.get(idx))
                         if read_barriers:
                             acc += support.after_load(thread, arr, idx, False)
+                        if trace_mem:
+                            vm.trace(
+                                "mem_read", thread,
+                                loc=location_of(arr, idx),
+                            )
                         pc += 1
                     elif op == bc.ASTORE:
                         val = stack.pop()
@@ -247,6 +265,11 @@ class Interpreter:
                             acc += support.before_store(
                                 thread, arr, idx, old, False
                             )
+                        if trace_mem:
+                            vm.trace(
+                                "mem_write", thread,
+                                loc=location_of(arr, idx),
+                            )
                         pc += 1
                     elif op == bc.GETSTATIC:
                         fd = ins.c or self._static_def(ins)
@@ -255,6 +278,11 @@ class Interpreter:
                             acc += support.after_load(
                                 thread, ins.a, ins.a[1], fd.volatile
                             )
+                        if trace_mem:
+                            vm.trace(
+                                "mem_read", thread,
+                                loc=location_of(ins.a, ins.a[1]),
+                            )
                         pc += 1
                     elif op == bc.PUTSTATIC:
                         fd = ins.c or self._static_def(ins)
@@ -262,6 +290,11 @@ class Interpreter:
                         if ins.barrier:
                             acc += support.before_store(
                                 thread, ins.a, ins.a[1], old, fd.volatile
+                            )
+                        if trace_mem:
+                            vm.trace(
+                                "mem_write", thread,
+                                loc=location_of(ins.a, ins.a[1]),
                             )
                         pc += 1
                     elif op == bc.ARRAYLEN:

@@ -24,11 +24,13 @@ import heapq
 from collections import deque
 from typing import TYPE_CHECKING, Optional
 
-from repro.errors import DeadlockError
+from repro.errors import DeadlockError, ScheduleError
 from repro.vm.interpreter import PREEMPTED, YIELDED
 from repro.vm.threads import ThreadState, VMThread
 
 if TYPE_CHECKING:  # pragma: no cover
+    from typing import Callable
+
     from repro.vm.vmcore import JVM
 
 
@@ -66,6 +68,17 @@ class BaseScheduler:
         self._last: Optional[VMThread] = None
         self.slices = 0
         self.context_switches = 0
+        #: scheduling decisions taken through the decision hook
+        self.decisions = 0
+        #: pluggable decision hook: called with the ordered list of READY
+        #: candidate threads (the order the default policy would consider
+        #: them) and must return the *tid* of the thread to run next.
+        #: ``None`` (the default) keeps the built-in policy.  Schedule
+        #: exploration (:mod:`repro.check`) installs a controller here to
+        #: enumerate interleavings; any exception the hook raises
+        #: propagates out of :meth:`step`, and a tid outside the candidate
+        #: set raises :class:`repro.errors.ScheduleError`.
+        self.decision_hook: Optional["Callable[[list[VMThread]], int]"] = None
         #: tid -> (revocations, sections_committed) at the last watchdog scan
         self._watchdog_snap: dict[int, tuple[int, int]] = {}
 
@@ -78,6 +91,39 @@ class BaseScheduler:
 
     def has_ready(self) -> bool:
         raise NotImplementedError
+
+    def ready_candidates(self) -> list[VMThread]:
+        """READY threads in the order the default policy would pick them.
+
+        The first element is what :meth:`_pick_next` would return.  Stale
+        queue entries are skipped and duplicates collapsed; the queue
+        itself is not consumed."""
+        raise NotImplementedError
+
+    def _take(self, thread: VMThread) -> None:
+        """Remove ``thread`` (a current ready candidate) from the queue so
+        it can be dispatched, mirroring what ``_pick_next`` does when it
+        pops."""
+        raise NotImplementedError
+
+    def _pick_hooked(self) -> Optional[VMThread]:
+        """Pick the next thread through :attr:`decision_hook`."""
+        candidates = self.ready_candidates()
+        if not candidates:
+            return None
+        self.decisions += 1
+        chosen_tid = self.decision_hook(candidates)
+        for t in candidates:
+            if t.tid == chosen_tid:
+                self._take(t)
+                self.vm.trace(
+                    "schedule_choice",
+                    t,
+                    decision=self.decisions,
+                    candidates=tuple(c.tid for c in candidates),
+                )
+                return t
+        raise ScheduleError(chosen_tid, [t.tid for t in candidates])
 
     # ------------------------------------------------------------- sleepers
     def add_sleeper(self, thread: VMThread, wake_time: int) -> None:
@@ -156,7 +202,10 @@ class BaseScheduler:
         through this same entry point the run loop uses."""
         vm = self.vm
         self._wake_due_sleepers()
-        thread = self._pick_next()
+        if self.decision_hook is not None:
+            thread = self._pick_hooked()
+        else:
+            thread = self._pick_next()
         if thread is None:
             if self._advance_idle():
                 return (None, "idle")
@@ -281,6 +330,18 @@ class RoundRobinScheduler(BaseScheduler):
     def has_ready(self) -> bool:
         return any(t.state is ThreadState.READY for t in self._ready)
 
+    def ready_candidates(self) -> list[VMThread]:
+        seen: set[int] = set()
+        out: list[VMThread] = []
+        for t in self._ready:
+            if t.state is ThreadState.READY and t.tid not in seen:
+                seen.add(t.tid)
+                out.append(t)
+        return out
+
+    def _take(self, thread: VMThread) -> None:
+        self._ready.remove(thread)
+
 
 class PriorityScheduler(BaseScheduler):
     """Strict-priority preemptive scheduler (extension).
@@ -345,3 +406,20 @@ class PriorityScheduler(BaseScheduler):
             t.state is ThreadState.READY and stamp == t.sched_stamp
             for _, _, stamp, t in self._ready
         )
+
+    def ready_candidates(self) -> list[VMThread]:
+        seen: set[int] = set()
+        out: list[VMThread] = []
+        for _neg_prio, _seq, stamp, t in sorted(self._ready):
+            if (
+                t.state is ThreadState.READY
+                and stamp == t.sched_stamp
+                and t.tid not in seen
+            ):
+                seen.add(t.tid)
+                out.append(t)
+        return out
+
+    def _take(self, thread: VMThread) -> None:
+        # lazy removal: bump the stamp so the queued entry goes stale
+        thread.sched_stamp += 1

@@ -151,6 +151,19 @@ class RuntimeSupport:
         site), False to let the scheduler merely trace the event."""
         return False
 
+    # ----------------------------------------------------------- checking
+    def state_fingerprint(self) -> dict:
+        """Policy-internal state contribution to the differential oracle's
+        final-state fingerprint (:mod:`repro.check.oracle`).
+
+        Called after the VM quiesced.  Must return plain JSON-serializable
+        data.  The ``"violations"`` key lists residual-state problems —
+        undo logs that never drained, sections never committed, priority
+        boosts never rescinded — and must be empty on a clean run;
+        anything else in the mapping is informational only and excluded
+        from cross-policy comparison."""
+        return {"violations": []}
+
     # ------------------------------------------------------------ scheduling
     def periodic_scan(self) -> None:
         """Optional background detection (paper §1: "either at lock

@@ -32,23 +32,45 @@ class TraceEvent:
 
 
 class Tracer:
-    """Append-only event log with query helpers."""
+    """Append-only event log with query helpers.
+
+    Besides the stored log, the tracer supports *streaming sinks*:
+    callables registered with :meth:`add_sink` receive every event as it
+    is recorded.  Sinks let online analyses (the Eraser-style lockset
+    pass in :mod:`repro.check.lockset`) consume high-volume event streams
+    without buffering them; set ``store=False`` to stream only and keep
+    memory flat regardless of run length."""
 
     def __init__(self, enabled: bool = False, capacity: int = 1_000_000):
         self.enabled = enabled
         self.capacity = capacity
         self.events: list[TraceEvent] = []
         self.dropped = 0
+        #: keep events in :attr:`events` (sinks still fire when False)
+        self.store = True
+        self._sinks: list = []
+
+    def add_sink(self, sink) -> None:
+        """Register a callable invoked with each recorded TraceEvent."""
+        self._sinks.append(sink)
+
+    def remove_sink(self, sink) -> None:
+        self._sinks.remove(sink)
 
     def record(
         self, time: int, kind: str, thread_name: Optional[str], **details
     ) -> None:
         if not self.enabled:
             return
+        event = TraceEvent(time, kind, thread_name, details)
+        for sink in self._sinks:
+            sink(event)
+        if not self.store:
+            return
         if len(self.events) >= self.capacity:
             self.dropped += 1
             return
-        self.events.append(TraceEvent(time, kind, thread_name, details))
+        self.events.append(event)
 
     # -------------------------------------------------------------- queries
     def of_kind(self, *kinds: str) -> list[TraceEvent]:

@@ -125,6 +125,11 @@ class VMOptions:
     max_cycles: int = 0
     barrier_elision: bool = True
     trace: bool = False
+    #: also trace every guest heap read/write as ``mem_read``/``mem_write``
+    #: events (location tuples from :func:`repro.vm.heap.location_of`).
+    #: High volume — meant for streaming consumers such as the lockset
+    #: pass (:mod:`repro.check.lockset`); requires ``trace=True``.
+    trace_memory: bool = False
     raise_on_uncaught: bool = True
     #: raise DeadlockError instead of revoking when a wait-for cycle forms
     #: (forces rollback mode to behave like the baseline for deadlocks)

@@ -1,0 +1,183 @@
+"""Lockset-pass tests: the Eraser state machine on synthetic event
+streams, plus integration runs over the check scenarios and the Fig. 5
+micro-benchmark (the CI smoke contract: zero races, zero inversions)."""
+
+from repro.check.lockset import (
+    LocksetAnalyzer,
+    run_lockset_fig5,
+    run_lockset_scenario,
+)
+from repro.vm.tracing import TraceEvent
+
+
+def _ev(kind: str, thread: str, **details) -> TraceEvent:
+    return TraceEvent(0, kind, thread, details)
+
+
+def _read(thread, loc):
+    return _ev("mem_read", thread, loc=loc)
+
+
+def _write(thread, loc):
+    return _ev("mem_write", thread, loc=loc)
+
+
+LOC = ("s", "T", "x")
+
+
+class TestEraserStateMachine:
+    def test_single_thread_never_races(self):
+        a = LocksetAnalyzer()
+        for _ in range(5):
+            a.feed(_write("t1", LOC))
+            a.feed(_read("t1", LOC))
+        assert a.report()["races"] == []
+
+    def test_unlocked_shared_write_races_once(self):
+        a = LocksetAnalyzer()
+        a.feed(_write("t1", LOC))
+        a.feed(_write("t2", LOC))       # second thread, no common lock
+        a.feed(_write("t1", LOC))       # same location: not re-reported
+        report = a.report()
+        assert len(report["races"]) == 1
+        race = report["races"][0]
+        assert race["location"] == list(LOC)
+        assert race["threads"] == ["t1", "t2"]
+        assert race["access"] == "write"
+
+    def test_consistent_lock_discipline_is_clean(self):
+        a = LocksetAnalyzer()
+        for thread in ("t1", "t2", "t1", "t2"):
+            a.feed(_ev("acquire", thread, mon="L"))
+            a.feed(_read(thread, LOC))
+            a.feed(_write(thread, LOC))
+            a.feed(_ev("release", thread, mon="L"))
+        assert a.report()["races"] == []
+
+    def test_lockset_is_the_intersection(self):
+        """t1 holds {L1, L2}, t2 holds only {L2}: the candidate set
+        shrinks to {L2}, which is enough — no race."""
+        a = LocksetAnalyzer()
+        a.feed(_ev("acquire", "t1", mon="L1"))
+        a.feed(_ev("acquire", "t1", mon="L2"))
+        a.feed(_write("t1", LOC))
+        a.feed(_ev("release", "t1", mon="L2"))
+        a.feed(_ev("release", "t1", mon="L1"))
+        a.feed(_ev("acquire", "t2", mon="L2"))
+        a.feed(_write("t2", LOC))
+        a.feed(_ev("release", "t2", mon="L2"))
+        assert a.report()["races"] == []
+
+    def test_disjoint_locks_race(self):
+        """Eraser initializes the candidate set at the sharing transition
+        (t2's access), so the empty intersection — and the report —
+        arrives with the next access under a disjoint lock."""
+        a = LocksetAnalyzer()
+        a.feed(_ev("acquire", "t1", mon="L1"))
+        a.feed(_write("t1", LOC))
+        a.feed(_ev("release", "t1", mon="L1"))
+        a.feed(_ev("acquire", "t2", mon="L2"))
+        a.feed(_write("t2", LOC))
+        assert a.report()["races"] == []    # candidate set is {L2}
+        a.feed(_ev("release", "t2", mon="L2"))
+        a.feed(_ev("acquire", "t1", mon="L1"))
+        a.feed(_write("t1", LOC))           # {L2} & {L1} = {}: race
+        assert len(a.report()["races"]) == 1
+
+    def test_shared_read_only_is_not_reported(self):
+        """Read-shared data with no locks is Eraser-clean until someone
+        writes after sharing."""
+        a = LocksetAnalyzer()
+        a.feed(_read("t1", LOC))
+        a.feed(_read("t2", LOC))
+        a.feed(_read("t3", LOC))
+        assert a.report()["races"] == []
+        a.feed(_write("t2", LOC))       # first shared write: now it races
+        assert len(a.report()["races"]) == 1
+
+    def test_recursive_acquire_adds_no_self_edge(self):
+        a = LocksetAnalyzer()
+        a.feed(_ev("acquire", "t1", mon="L"))
+        a.feed(_ev("acquire", "t1", mon="L", detail="recursive"))
+        a.feed(_ev("release", "t1", mon="L"))
+        a.feed(_ev("release", "t1", mon="L"))
+        assert a.report()["lock_order_inversions"] == []
+        assert a._held.get("t1", {}) == {}
+
+    def test_lock_order_inversion_detected(self):
+        a = LocksetAnalyzer()
+        a.feed(_ev("acquire", "t1", mon="A"))
+        a.feed(_ev("acquire", "t1", mon="B"))   # A -> B
+        a.feed(_ev("release", "t1", mon="B"))
+        a.feed(_ev("release", "t1", mon="A"))
+        a.feed(_ev("acquire", "t2", mon="B"))
+        a.feed(_ev("acquire", "t2", mon="A"))   # B -> A: inversion
+        report = a.report()
+        assert report["lock_order_inversions"] == [
+            {"locks": ["A", "B"], "threads": ["t1", "t2"]}
+        ]
+
+    def test_consistent_nesting_is_not_an_inversion(self):
+        a = LocksetAnalyzer()
+        for thread in ("t1", "t2"):
+            a.feed(_ev("acquire", thread, mon="A"))
+            a.feed(_ev("acquire", thread, mon="B"))
+            a.feed(_ev("release", thread, mon="B"))
+            a.feed(_ev("release", thread, mon="A"))
+        assert a.report()["lock_order_inversions"] == []
+
+    def test_rollback_release_drops_the_monitor(self):
+        """A revoked section's monitor leaves the holder's lockset even
+        though no plain release event ever fires."""
+        a = LocksetAnalyzer()
+        a.feed(_ev("acquire", "t1", mon="L"))
+        a.feed(_ev("rollback_release", "t1", mon="L"))
+        a.feed(_write("t1", LOC))
+        a.feed(_write("t2", LOC))       # shared, and t1 held nothing
+        assert len(a.report()["races"]) == 1
+
+    def test_wait_releases_and_wait_return_reacquires(self):
+        a = LocksetAnalyzer()
+        a.feed(_ev("acquire", "t1", mon="L"))
+        a.feed(_ev("wait", "t1", mon="L"))
+        assert a._held["t1"] == {}
+        a.feed(_ev("wait_return", "t1", mon="L"))
+        assert a._held["t1"] == {"L": 1}
+
+    def test_unmatched_release_is_ignored(self):
+        a = LocksetAnalyzer()
+        a.feed(_ev("release", "t1", mon="L"))   # never acquired: no crash
+        assert a._held.get("t1", {}) == {}
+
+
+class TestLocksetIntegration:
+    def test_racy_scenario_is_flagged(self):
+        report = run_lockset_scenario("racy-yield")
+        assert len(report["races"]) == 1
+        race = report["races"][0]
+        assert race["location"] == ["s", "Racy", "counter"]
+        assert race["threads"] == ["t1", "t2"]
+        assert report["lock_order_inversions"] == []
+
+    def test_locked_scenario_is_clean(self):
+        report = run_lockset_scenario("handoff")
+        assert report["races"] == []
+        assert report["lock_order_inversions"] == []
+        assert report["locations"] > 0
+
+    def test_lock_order_scenario_reports_inversion(self):
+        report = run_lockset_scenario("lock-order")
+        assert len(report["lock_order_inversions"]) == 1
+        assert len(report["lock_order_inversions"][0]["locks"]) == 2
+
+    def test_fig5_contract_zero_races_zero_inversions(self):
+        """The CI smoke contract: every shared-array access in the Fig. 5
+        workload sits inside the global lock."""
+        report = run_lockset_fig5()
+        assert report["races"] == []
+        assert report["lock_order_inversions"] == []
+        assert report["locations"] >= 8     # the shared array, at least
+
+    def test_report_is_deterministic(self):
+        assert run_lockset_scenario("racy-yield") == \
+            run_lockset_scenario("racy-yield")

@@ -1,9 +1,12 @@
 """Scheduler tests: round-robin fairness, priority preemption, stall
-detection, sleep bookkeeping, wait-for-cycle detection."""
+detection, sleep bookkeeping, wait-for-cycle detection, and the pluggable
+decision hook used by the schedule explorer."""
 
 import pytest
 
 from repro import Asm, DeadlockError, Monitor, ThreadState, VMThread
+from repro.errors import ScheduleError
+from repro.vm.clock import CostModel
 from repro.vm.scheduler import find_wait_cycle
 
 from conftest import build_class, make_vm
@@ -260,6 +263,147 @@ class TestFindWaitCycle:
         a.state = ThreadState.BLOCKED
         a.blocked_on = mon
         assert find_wait_cycle([a]) is None
+
+
+def _spin_method(iters: int = 200) -> Asm:
+    run = Asm("run", argc=0)
+    i = run.local()
+    run.for_range(i, lambda: run.const(iters), lambda: run.const(0).pop())
+    run.ret()
+    return run
+
+
+def _hook_vm(scheduler: str = "round-robin"):
+    """Two spinning threads on a one-cycle quantum: every back-edge is a
+    scheduling decision the hook gets to make."""
+    vm = make_vm(scheduler=scheduler, cost_model=CostModel(quantum=1))
+    vm.load(build_class("T", [], [_spin_method()]))
+    a = vm.spawn("T", "run", priority=1, name="a")
+    b = vm.spawn("T", "run", priority=10, name="b")
+    return vm, a, b
+
+
+class TestDecisionHook:
+    def test_hook_drives_round_robin(self):
+        vm, a, b = _hook_vm()
+        vm.scheduler.decision_hook = lambda cands: cands[-1].tid
+        vm.run()
+        assert vm.scheduler.decisions > 0
+        choices = vm.tracer.of_kind("schedule_choice")
+        assert choices
+        assert choices[0].details["decision"] == 1
+        assert choices[0].details["candidates"] == (a.tid, b.tid)
+
+    def test_hook_overrides_strict_priority(self):
+        """The hook sees every READY thread, so exploration can schedule a
+        low-priority thread under the strict scheduler too."""
+        vm, a, b = _hook_vm(scheduler="priority")
+        picked_low = []
+
+        def hook(cands):
+            tids = [t.tid for t in cands]
+            if a.tid in tids and len(tids) > 1:
+                picked_low.append(True)
+                return a.tid
+            return tids[0]
+
+        vm.scheduler.decision_hook = hook
+        vm.run()
+        assert picked_low                     # low ran while high was ready
+        assert a.state is ThreadState.TERMINATED
+        assert b.state is ThreadState.TERMINATED
+
+    def test_hook_exception_propagates(self):
+        vm, _, _ = _hook_vm()
+
+        def hook(cands):
+            raise RuntimeError("hook exploded")
+
+        vm.scheduler.decision_hook = hook
+        with pytest.raises(RuntimeError, match="hook exploded"):
+            vm.run()
+
+    def test_hook_unknown_tid_raises_schedule_error(self):
+        vm, a, b = _hook_vm()
+        vm.scheduler.decision_hook = lambda cands: 999
+        with pytest.raises(ScheduleError) as err:
+            vm.run()
+        assert err.value.chosen == 999
+        assert set(err.value.candidates) == {a.tid, b.tid}
+
+    def test_hook_choosing_dead_thread_raises(self):
+        """Insisting on a thread that has terminated is a ScheduleError
+        carrying the offending tid and the actual candidates."""
+        vm, a, b = _hook_vm()
+        vm.scheduler.decision_hook = lambda cands: b.tid
+        with pytest.raises(ScheduleError) as err:
+            vm.run()
+        assert b.state is ThreadState.TERMINATED
+        assert err.value.chosen == b.tid
+        assert err.value.candidates == [a.tid]
+        assert "ready candidates" in str(err.value)
+
+    def test_hook_choosing_blocked_thread_raises(self):
+        """A hook that keeps choosing a thread after it blocks on a
+        monitor gets a ScheduleError, not a silent fallback."""
+        run = Asm("run", argc=0)
+        i = run.local()
+        run.getstatic("T", "lock")
+        with run.sync():
+            run.for_range(i, lambda: run.const(50), lambda:
+                          run.const(0).pop())
+        run.ret()
+        vm = make_vm(cost_model=CostModel(quantum=1))
+        vm.load(build_class("T", ["lock:ref"], [run]))
+        vm.set_static("T", "lock", vm.new_object("T"))
+        a = vm.spawn("T", "run", priority=5, name="a")
+        b = vm.spawn("T", "run", priority=5, name="b")
+        warmup = 10  # let a enter the section, then insist on b
+
+        def hook(cands):
+            nonlocal warmup
+            tids = [t.tid for t in cands]
+            if warmup > 0 and a.tid in tids:
+                warmup -= 1
+                return a.tid
+            return b.tid
+
+        vm.scheduler.decision_hook = hook
+        with pytest.raises(ScheduleError) as err:
+            vm.run()
+        assert err.value.chosen == b.tid
+        assert b.state is ThreadState.BLOCKED
+
+    def test_walk_budget_exhausted_mid_section_stays_legal(self):
+        """A bounded random walk that spends its budget inside a critical
+        section must keep the run legal: it pins the running thread from
+        then on, the program completes, and preemptions never exceed the
+        bound."""
+        from repro.check.explorer import (
+            ScheduleController,
+            run_schedule,
+        )
+        from repro.check.scenarios import get_scenario
+        from repro.util.rng import DeterministicRng
+
+        scenario = get_scenario("handoff")
+        for seed in range(5):
+            ctrl = ScheduleController(
+                rng=DeterministicRng(seed), bound=2
+            )
+            vm, outcome = run_schedule(scenario, "rollback", ctrl)
+            assert outcome == "completed"
+            assert ctrl.preemptions <= 2
+            assert vm.get_static("Handoff", "counter") == 8
+
+    def test_decisions_counted_only_under_hook(self):
+        vm, _, _ = _hook_vm()
+        vm.run()
+        assert vm.scheduler.decisions == 0
+        vm2, _, _ = _hook_vm()
+        vm2.scheduler.decision_hook = lambda cands: cands[0].tid
+        vm2.run()
+        assert vm2.scheduler.decisions > 0
 
 
 class TestSleeperHeapStaleness:

@@ -4,7 +4,12 @@ import math
 
 import pytest
 
-from repro.util.rng import DeterministicRng, derive_seed
+from repro.util.rng import (
+    SWEEP_BASE,
+    DeterministicRng,
+    derive_seed,
+    sweep_seed,
+)
 
 
 class TestDeterminism:
@@ -138,3 +143,52 @@ class TestDerivation:
         # respawning yields the same child stream
         child2 = DeterministicRng(5).spawn("x")
         assert [child2.next_u64() for _ in range(4)] == child_draws
+
+
+class TestSweepSeedConvention:
+    """The repo-wide seed-namespace convention: every sweep-style tool
+    derives per-run seeds as ``sweep_seed(namespace, scenario, index)``.
+    The fault campaign uses ``("campaign", scenario.name, i)`` with ``i``
+    1-based; the schedule checker's random walks use
+    ``("check", scenario, k)`` with ``k`` 0-based."""
+
+    def test_is_derive_seed_under_the_shared_base(self):
+        assert SWEEP_BASE == 0x5EED
+        assert sweep_seed("campaign", "pri-handoff", 3) == derive_seed(
+            SWEEP_BASE, "campaign", "pri-handoff", 3
+        )
+
+    def test_namespaces_do_not_collide(self):
+        assert sweep_seed("campaign", "handoff", 1) != sweep_seed(
+            "check", "handoff", 1
+        )
+
+    def test_pinned_golden_values(self):
+        """Cross-tool contract: campaign runs and check walks are cached
+        and replayed by these exact seeds; they must never change."""
+        assert (
+            sweep_seed("campaign", "storm-philosophers", 1)
+            == 11269112642143351037
+        )
+        assert (
+            sweep_seed("campaign", "pri-handoff", 3)
+            == 9584731509515884707
+        )
+        assert sweep_seed("check", "handoff", 0) == 12093481353707224010
+        assert sweep_seed("check", "handoff", 1) == 12093482453218852221
+
+    def test_campaign_uses_the_convention(self, monkeypatch):
+        """The campaign's per-run VM seed is exactly the convention's
+        derivation — no tool-private salting."""
+        import repro.faults.campaign as campaign
+
+        calls = []
+
+        def spy(namespace, scenario, index, **kwargs):
+            calls.append((namespace, scenario, index))
+            return sweep_seed(namespace, scenario, index, **kwargs)
+
+        monkeypatch.setattr(campaign, "sweep_seed", spy)
+        scenario = campaign._scenarios()[0]
+        campaign.run_one(scenario, 1)
+        assert calls == [("campaign", scenario.name, 1)]
