@@ -7,6 +7,8 @@ Examples::
     python -m repro.bench 7c --csv out.csv   # export the series
     python -m repro.bench all                # every panel (slow)
     REPRO_BENCH_JOBS=4 python -m repro.bench all   # parallel workers
+    python -m repro.bench --host-perf        # interpreter wall-clock baseline
+    python -m repro.bench 5a --host-perf     # host-perf on one panel only
 
 Runs execute through :mod:`repro.bench.parallel`: ``--jobs`` (or
 ``REPRO_BENCH_JOBS``) sets the worker count and results are memoized in a
@@ -19,6 +21,7 @@ byte-identical for every jobs/cache setting; host-side execution stats
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
 
@@ -48,6 +51,34 @@ def _default_reps() -> int:
         return 2
 
 
+def _host_perf(args) -> int:
+    """``--host-perf``: interpreter wall-clock baseline (BENCH_interp.json).
+
+    The JSON report goes to stdout *and* the output file; progress lines
+    go to stderr (the measurement takes minutes at full scale).
+    """
+    from repro.bench.hostperf import (
+        DEFAULT_OUTPUT,
+        measure_host_perf,
+        write_host_perf,
+    )
+
+    panels = None
+    if args.panel is not None and args.panel != "all":
+        panels = [_parse_panel(args.panel)]
+    report = measure_host_perf(
+        panels,
+        repetitions=args.reps,
+        seed=args.seed,
+        progress=lambda line: print(line, file=sys.stderr),
+    )
+    out = args.output or DEFAULT_OUTPUT
+    write_host_perf(report, out)
+    print(json.dumps(report, indent=2))
+    print(f"host-perf report written to {out}", file=sys.stderr)
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.bench",
@@ -55,7 +86,21 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "panel",
-        help="figure panel (e.g. 5a, 6b, 8c) or 'all'",
+        nargs="?",
+        default=None,
+        help="figure panel (e.g. 5a, 6b, 8c) or 'all' "
+             "(optional with --host-perf: defaults to the full suite)",
+    )
+    parser.add_argument(
+        "--host-perf", action="store_true",
+        help="measure host wall-clock of both interpreters (fast vs "
+             "reference) over the selected panels and write the "
+             "repro.bench.host-perf/1 report (see repro.bench.hostperf); "
+             "runs serially and uncached regardless of --jobs/cache flags",
+    )
+    parser.add_argument(
+        "--output", metavar="PATH", default=None,
+        help="host-perf report path (default BENCH_interp.json)",
     )
     parser.add_argument(
         "--reps", type=int, default=_default_reps(),
@@ -81,6 +126,11 @@ def main(argv: list[str] | None = None) -> int:
              ".repro-bench-cache)",
     )
     args = parser.parse_args(argv)
+
+    if args.host_perf:
+        return _host_perf(args)
+    if args.panel is None:
+        parser.error("a figure panel (or 'all') is required")
 
     engine = RunEngine.from_env()
     if args.jobs is not None:

@@ -54,6 +54,7 @@ __all__ = [
     "RunSpec",
     "cache_key",
     "execute_spec",
+    "guest_instructions",
     "source_digest",
     "spec_key",
 ]
@@ -175,6 +176,29 @@ class ResultCache:
 
 
 # ------------------------------------------------------------------ stats
+def guest_instructions(result: Any) -> int:
+    """Total guest instructions retired in one :class:`RunResult`.
+
+    Read from ``metrics["threads"][*]["instructions"]``; returns 0 for
+    results that carry no metrics (the engine is generic over result
+    types).  Because runs are deterministic, this total is identical for
+    every interpreter (``VMOptions.interp``) — only the host wall clock
+    differs, which is exactly what the instructions-per-second numbers
+    in :class:`EngineStats` and ``BENCH_interp.json`` compare.
+    """
+    metrics = getattr(result, "metrics", None)
+    if not isinstance(metrics, dict):
+        return 0
+    threads = metrics.get("threads")
+    if not isinstance(threads, dict):
+        return 0
+    return sum(
+        int(info.get("instructions", 0))
+        for info in threads.values()
+        if isinstance(info, dict)
+    )
+
+
 @dataclass
 class EngineStats:
     """Host-side observability for one engine (or one :meth:`map` call).
@@ -194,6 +218,11 @@ class EngineStats:
     #: worker-side wall-clock seconds per run (0.0 for cache hits),
     #: in matrix order
     run_walls: list[float] = field(default_factory=list, repr=False)
+    #: guest instructions retired, executed runs only (cache hits cost no
+    #: host time, so they would inflate instructions-per-second)
+    guest_instructions: int = 0
+    #: guest instructions per run (0 for cache hits), in matrix order
+    run_instructions: list[int] = field(default_factory=list, repr=False)
 
     def merge(self, other: "EngineStats") -> None:
         self.runs += other.runs
@@ -202,16 +231,30 @@ class EngineStats:
         self.run_wall += other.run_wall
         self.host_wall += other.host_wall
         self.run_walls.extend(other.run_walls)
+        self.guest_instructions += other.guest_instructions
+        self.run_instructions.extend(other.run_instructions)
+
+    def ips(self) -> float:
+        """Guest instructions per host second over the executed runs."""
+        return (
+            self.guest_instructions / self.run_wall if self.run_wall else 0.0
+        )
 
     def render(self) -> str:
         """One human line: the speedup evidence the reports cite."""
         speedup = self.run_wall / self.host_wall if self.host_wall else 0.0
-        return (
+        line = (
             f"engine: {self.runs} runs in {self.host_wall:.2f}s host "
             f"wall (jobs={self.jobs}, {self.executed} executed, "
             f"{self.cache_hits} cache hits); cumulative run wall "
             f"{self.run_wall:.2f}s ({speedup:.2f}x vs host)"
         )
+        if self.guest_instructions:
+            line += (
+                f"; {self.guest_instructions} guest instructions "
+                f"({self.ips():,.0f}/s)"
+            )
+        return line
 
 
 # ----------------------------------------------------------------- engine
@@ -283,6 +326,7 @@ class RunEngine:
         stats = EngineStats(jobs=self.jobs)
         stats.runs = len(items)
         stats.run_walls = [0.0] * len(items)
+        stats.run_instructions = [0] * len(items)
         results: list[Any] = [None] * len(items)
 
         pending: list[int] = []
@@ -320,6 +364,11 @@ class RunEngine:
                         results[i], wall = fut.result()
                         stats.run_walls[i] = wall
                         stats.run_wall += wall
+
+        for i in pending:
+            gi = guest_instructions(results[i])
+            stats.run_instructions[i] = gi
+            stats.guest_instructions += gi
 
         if self.cache is not None and key_fn is not None:
             for i in pending:

@@ -195,6 +195,41 @@ def is_store(op: int) -> bool:
     return op in _STORE_OPS
 
 
+# --- predecode classification ------------------------------------------------
+# The fast interpreter (repro.vm.predecode / repro.vm.fastinterp) fuses
+# straight-line runs of these opcodes into compiled basic-block
+# superinstructions.  An opcode is fusable only when executing it can never
+# flush the virtual clock, park or switch the thread, or emit a trace event:
+# those interactions must keep happening at the exact program points the
+# reference interpreter uses, or clock/trace parity breaks.
+
+#: Pure operand-stack/local ops: no VM interaction, cannot raise guest errors.
+FUSABLE_PURE = frozenset({
+    NOP, CONST, LOAD, STORE, IINC, DUP, POP, SWAP,
+    ADD, SUB, MUL, NEG, AND, OR, XOR, SHL, SHR, NOT,
+    EQ, NE, LT, LE, GT, GE, TID,
+})
+
+#: Fusable but may raise a guest ArithmeticException (zero divisor).
+FUSABLE_ARITH_RAISING = frozenset({DIV, MOD})
+
+#: Heap ops: fusable via the same heap/support seams the reference uses;
+#: excluded from fusion when per-access ``mem_read``/``mem_write`` trace
+#: events are required (``trace_memory``).
+FUSABLE_HEAP = frozenset({
+    NEW, NEWARRAY, GETFIELD, PUTFIELD, GETSTATIC, PUTSTATIC,
+    ALOAD, ASTORE, ARRAYLEN, CLASSREF,
+})
+
+#: Branches terminate a block; only *forward* branches (non-yield-points)
+#: may be fused — backward branches are yield points by construction.
+FUSABLE_BRANCH = _BRANCH_OPS
+
+FUSABLE_OPS = (
+    FUSABLE_PURE | FUSABLE_ARITH_RAISING | FUSABLE_HEAP | FUSABLE_BRANCH
+)
+
+
 class Instruction:
     """One bytecode instruction.
 

@@ -115,13 +115,26 @@ class MethodDef:
     def qualified_name(self) -> str:
         return f"{self.class_name}.{self.name}"
 
+    def invalidate_decoded(self) -> None:
+        """Drop the cached predecode result.
+
+        The fast interpreter (:mod:`repro.vm.predecode`) caches its
+        compiled basic blocks on the MethodDef at first execution; call
+        this after any in-place mutation of ``code`` so stale blocks can
+        never execute.  ``copy()`` never carries the cache.
+        """
+        self.__dict__.pop("_decoded", None)
+
     def copy(self) -> "MethodDef":
         """Independent copy (instructions included) for load-time rewriting.
 
         A ClassDef may be loaded into several VMs (e.g. the modified and
         unmodified VM of one benchmark comparison); loading always copies so
         link-time mutation (costs, yield points, barrier flags) of one VM
-        never leaks into another.
+        never leaks into another.  Predecode state (``_decoded``) is
+        deliberately not copied: it binds one VM's heap and runtime
+        support, and the new copy is re-linked (and re-predecoded) by
+        whichever VM loads it.
         """
         m = MethodDef(
             name=self.name,

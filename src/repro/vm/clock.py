@@ -54,8 +54,17 @@ class CostModel:
     #: on the uniprocessor and contention vanishes.
     quantum: int = 8_000
 
-    def instruction_cost(self, op: int) -> int:
-        """Static per-opcode cost (barrier/rollback costs are dynamic)."""
+    def __post_init__(self) -> None:
+        # Linking and predecoding look costs up per opcode; membership
+        # chains per call showed up in profiles, so the table is derived
+        # once here.  The dataclass is frozen, hence object.__setattr__;
+        # replace()/scaled() re-run this, and the table is not a field so
+        # equality/hashing/cache keys still see only the named costs.
+        table = tuple(self._static_cost(op) for op in range(bc._MAX_OP))
+        object.__setattr__(self, "_cost_table", table)
+
+    def _static_cost(self, op: int) -> int:
+        """Cost-class rules (evaluated once per opcode at table build)."""
         if op in (bc.GETFIELD, bc.PUTFIELD, bc.GETSTATIC, bc.PUTSTATIC,
                   bc.ALOAD, bc.ASTORE, bc.ARRAYLEN):
             return self.heap_access
@@ -74,6 +83,11 @@ class CostModel:
         if op in (bc.DEBUG, bc.NOP, bc.ROLLBACK_HANDLER, bc.RESTORESTATE):
             return 0
         return self.simple
+
+    def instruction_cost(self, op: int) -> int:
+        """Static per-opcode cost (barrier/rollback costs are dynamic)."""
+        table = self._cost_table
+        return table[op] if 0 <= op < len(table) else self.simple
 
     def scaled(self, factor: float) -> "CostModel":
         """Uniformly scale all costs except the quantum (ablation helper)."""

@@ -1,0 +1,673 @@
+"""The predecoded threaded-dispatch interpreter (the default hot path).
+
+:class:`FastInterpreter` executes the same guest semantics as the
+reference :class:`~repro.vm.interpreter.Interpreter`, with one structural
+change in the inner loop: before dispatching an instruction it consults
+the method's predecoded block table (:mod:`repro.vm.predecode`).  When the
+current pc starts a compiled basic block, the whole straight-line run
+executes through one Python call — block cost and instruction count are
+charged with two additions (*basic-block cost batching*) instead of one
+dispatch per instruction.  Any pc without a block falls through to a
+verbatim copy of the reference dispatch chain, so predecode coverage can
+only affect speed, never behaviour.
+
+Parity contract (enforced by ``tests/test_interp_parity.py``): virtual
+clock values *and* advance-event counts, trace streams, schedules, and
+checker fingerprints are byte-identical to the reference interpreter.
+The invariants that guarantee it:
+
+* blocks never contain yield points or clock-flushing ops, so ``flush()``
+  runs at exactly the reference's program points;
+* a block's static cost equals the sum the reference would accumulate
+  into ``acc`` across the same instructions, and dynamic barrier cycles
+  are returned through the ``A[0]`` cell and folded into ``acc`` after
+  the block call;
+* when a block raises a guest exception mid-run, the fault cell ``F[0]``
+  holds the faulting pc and the pre-charged cost/count of the unexecuted
+  suffix is subtracted before the exception dispatch sees ``frame.pc``.
+
+The reference interpreter remains available via
+``VMOptions(interp="reference")`` and is auto-selected when per-access
+memory tracing (``trace_memory``) needs per-instruction events.
+"""
+
+from __future__ import annotations
+
+from repro.errors import GuestRuntimeError, ReproError, StarvationError
+from repro.vm import bytecode as bc
+from repro.vm.heap import location_of, require_ref
+from repro.vm.interpreter import (
+    BLOCKED,
+    Interpreter,
+    MAX_FRAME_DEPTH,
+    PREEMPTED,
+    SLEEPING,
+    TERMINATED,
+    WAITING,
+    YIELDED,
+    _idiv,
+    _imod,
+)
+from repro.vm.monitors import monitor_of
+from repro.vm.predecode import predecode_method
+from repro.vm.threads import Frame, SavedState, ThreadState, VMThread
+
+
+class FastInterpreter(Interpreter):
+    """Reference semantics + predecoded basic-block dispatch."""
+
+    def _blocks_for(self, method):
+        dm = method.__dict__.get("_decoded")
+        if dm is None:
+            dm = predecode_method(self.vm, method)
+        return dm.blocks
+
+    # NOTE: this is the reference Interpreter._execute loop with the block
+    # preamble inserted at the top of the dispatch; every chain arm below
+    # is kept verbatim so uncompiled pcs behave identically.  The parity
+    # suite diffs the two loops' observable behaviour on every policy.
+    def _execute(self, thread: VMThread) -> str:
+        vm = self.vm
+        clock = self.clock
+        support = self.support
+        scheduler = vm.scheduler
+        pending_wake = scheduler.pending_wake_time
+        quantum = self.cost_model.quantum
+        cm = self.cost_model
+        read_barriers = self.read_barriers
+        trace_mem = self._trace_mem
+        max_cycles = vm.options.max_cycles
+        faults = vm.fault_plane
+        F = [0]  # fault cell: pc of the op a block was executing when it raised
+        A = [0]  # dynamic-cost cell: barrier cycles accrued inside a block
+
+        while True:  # outer loop: re-entered on frame switch / exceptions
+            frame = thread.frames[-1]
+            code = frame.code
+            blocks = self._blocks_for(frame.method)
+            pc = frame.pc
+            stack = frame.stack
+            locals_ = frame.locals
+            acc = 0      # unflushed cycles
+            icount = 0   # unflushed instruction count
+
+            def flush() -> None:
+                nonlocal acc, icount
+                clock.advance(acc)
+                thread.cycles_executed += acc
+                thread.quantum_used += acc
+                thread.instructions_executed += icount
+                acc = 0
+                icount = 0
+
+            try:
+                while True:
+                    # ------------------------- predecoded block dispatch
+                    b = blocks[pc]
+                    if b is not None:
+                        acc += b.cost
+                        icount += b.count
+                        try:
+                            pc = b.fn(stack, locals_, F, A, thread)
+                        except GuestRuntimeError:
+                            # repair the pre-charge: drop the cost/count of
+                            # the instructions after the faulting one, keep
+                            # any barrier cycles accrued before the fault,
+                            # and resume exception dispatch at its pc.
+                            fpc = F[0] if b.raising else b.start
+                            k = fpc - b.start
+                            acc -= b.suffix_cost[k]
+                            icount -= b.suffix_count[k]
+                            if b.dynamic:
+                                acc += A[0]
+                            pc = fpc
+                            raise
+                        if b.dynamic:
+                            acc += A[0]
+                        continue
+
+                    ins = code[pc]
+                    op = ins.op
+
+                    if ins.ypoint:
+                        # inlined flush(): this is the hottest flush site
+                        # (every loop back-edge) and closure/nonlocal
+                        # overhead is measurable here
+                        clock.advance(acc)
+                        thread.cycles_executed += acc
+                        thread.quantum_used += acc
+                        thread.instructions_executed += icount
+                        acc = 0
+                        icount = 0
+                        if max_cycles and clock.now > max_cycles:
+                            raise StarvationError(max_cycles)
+                        if thread.revocation_request is not None:
+                            sig = support.check_yield(thread)
+                            if sig is not None:
+                                thread.active_rollback = sig  # type: ignore[attr-defined]
+                                frame.pc = pc
+                                self._relinquish_pending_handoff(thread)
+                                self._unwind_to_handler(thread)
+                                break  # re-enter outer loop on new frame/pc
+                        if faults is not None and thread.active_rollback is None:
+                            injected = faults.on_yield_point(thread)
+                            if injected is not None:
+                                # Dispatched exactly like any guest fault:
+                                # through the exception tables, never
+                                # through rollback scopes.
+                                raise GuestRuntimeError(
+                                    "injected fault", guest_class=injected
+                                )
+                        if (
+                            thread.quantum_used >= quantum
+                            or thread.preempt_requested
+                            or pending_wake() <= clock.now
+                        ):
+                            frame.pc = pc
+                            thread.preempt_requested = False
+                            return PREEMPTED
+
+                    acc += ins.cost
+                    icount += 1
+
+                    # ---------------------------------------- hot opcodes
+                    if op == bc.LOAD:
+                        stack.append(locals_[ins.a])
+                        pc += 1
+                    elif op == bc.CONST:
+                        stack.append(ins.a)
+                        pc += 1
+                    elif op == bc.STORE:
+                        locals_[ins.a] = stack.pop()
+                        pc += 1
+                    elif op == bc.IINC:
+                        locals_[ins.a] += ins.b
+                        pc += 1
+                    elif op == bc.GOTO:
+                        pc = ins.a
+                    elif op == bc.IF:
+                        v = stack.pop()
+                        pc = ins.a if v else pc + 1
+                    elif op == bc.IFNOT:
+                        v = stack.pop()
+                        pc = pc + 1 if v else ins.a
+                    elif op == bc.ADD:
+                        b_ = stack.pop()
+                        stack[-1] = stack[-1] + b_
+                        pc += 1
+                    elif op == bc.SUB:
+                        b_ = stack.pop()
+                        stack[-1] = stack[-1] - b_
+                        pc += 1
+                    elif op == bc.MUL:
+                        b_ = stack.pop()
+                        stack[-1] = stack[-1] * b_
+                        pc += 1
+                    elif op == bc.LT:
+                        b_ = stack.pop()
+                        stack[-1] = 1 if stack[-1] < b_ else 0
+                        pc += 1
+                    elif op == bc.GE:
+                        b_ = stack.pop()
+                        stack[-1] = 1 if stack[-1] >= b_ else 0
+                        pc += 1
+                    elif op == bc.MOD:
+                        b_ = stack.pop()
+                        a_ = stack.pop()
+                        if isinstance(a_, int) and isinstance(b_, int):
+                            if b_ == 0:
+                                raise GuestRuntimeError(
+                                    "integer remainder by zero",
+                                    guest_class="ArithmeticException",
+                                )
+                            stack.append(_imod(a_, b_))
+                        else:
+                            stack.append(self._fmod(a_, b_))
+                        pc += 1
+
+                    # ------------------------------------------ heap access
+                    elif op == bc.GETFIELD:
+                        obj = require_ref(stack.pop(), "object")
+                        fd = self._field_def(ins, obj)
+                        stack.append(obj.get(ins.a))
+                        if read_barriers:
+                            acc += support.after_load(
+                                thread, obj, ins.a, fd.volatile
+                            )
+                        if trace_mem:
+                            vm.trace(
+                                "mem_read", thread,
+                                loc=location_of(obj, ins.a),
+                            )
+                        pc += 1
+                    elif op == bc.PUTFIELD:
+                        val = stack.pop()
+                        obj = require_ref(stack.pop(), "object")
+                        fd = self._field_def(ins, obj)
+                        old = obj.put(ins.a, val)
+                        if ins.barrier:
+                            acc += support.before_store(
+                                thread, obj, ins.a, old, fd.volatile
+                            )
+                        if trace_mem:
+                            vm.trace(
+                                "mem_write", thread,
+                                loc=location_of(obj, ins.a),
+                            )
+                        pc += 1
+                    elif op == bc.ALOAD:
+                        idx = stack.pop()
+                        arr = require_ref(stack.pop(), "array")
+                        stack.append(arr.get(idx))
+                        if read_barriers:
+                            acc += support.after_load(thread, arr, idx, False)
+                        if trace_mem:
+                            vm.trace(
+                                "mem_read", thread,
+                                loc=location_of(arr, idx),
+                            )
+                        pc += 1
+                    elif op == bc.ASTORE:
+                        val = stack.pop()
+                        idx = stack.pop()
+                        arr = require_ref(stack.pop(), "array")
+                        old = arr.put(idx, val)
+                        if ins.barrier:
+                            acc += support.before_store(
+                                thread, arr, idx, old, False
+                            )
+                        if trace_mem:
+                            vm.trace(
+                                "mem_write", thread,
+                                loc=location_of(arr, idx),
+                            )
+                        pc += 1
+                    elif op == bc.GETSTATIC:
+                        fd = ins.c or self._static_def(ins)
+                        stack.append(vm.heap.get_static(ins.a))
+                        if read_barriers:
+                            acc += support.after_load(
+                                thread, ins.a, ins.a[1], fd.volatile
+                            )
+                        if trace_mem:
+                            vm.trace(
+                                "mem_read", thread,
+                                loc=location_of(ins.a, ins.a[1]),
+                            )
+                        pc += 1
+                    elif op == bc.PUTSTATIC:
+                        fd = ins.c or self._static_def(ins)
+                        old = vm.heap.put_static(ins.a, stack.pop())
+                        if ins.barrier:
+                            acc += support.before_store(
+                                thread, ins.a, ins.a[1], old, fd.volatile
+                            )
+                        if trace_mem:
+                            vm.trace(
+                                "mem_write", thread,
+                                loc=location_of(ins.a, ins.a[1]),
+                            )
+                        pc += 1
+                    elif op == bc.ARRAYLEN:
+                        arr = require_ref(stack.pop(), "array")
+                        stack.append(len(arr))
+                        pc += 1
+                    elif op == bc.NEW:
+                        classdef = ins.c or self._classdef(ins)
+                        stack.append(vm.heap.allocate(classdef))
+                        pc += 1
+                    elif op == bc.CLASSREF:
+                        obj = ins.c
+                        if obj is None:
+                            obj = vm.heap.class_object(ins.a)
+                            ins.c = obj
+                        stack.append(obj)
+                        pc += 1
+                    elif op == bc.NEWARRAY:
+                        length = stack.pop()
+                        if not isinstance(length, int) or length < 0:
+                            raise GuestRuntimeError(
+                                f"negative array size {length}",
+                                guest_class="NegativeArraySizeException",
+                            )
+                        stack.append(vm.heap.allocate_array(length, ins.a))
+                        pc += 1
+
+                    # -------------------------------------------- monitors
+                    elif op == bc.MONITORENTER:
+                        mon = monitor_of(require_ref(stack[-1], "monitor"))
+                        if thread.pending_handoff is mon:
+                            thread.pending_handoff = None
+                            thread.blocked_on = None
+                            stack.pop()
+                            acc += support.on_monitor_entered(
+                                thread, mon, frame, ins.a, False
+                            )
+                            vm.trace("acquire", thread, mon=mon, handoff=True)
+                            pc += 1
+                        elif mon.try_acquire(thread):
+                            recursive = mon.count > 1
+                            if not recursive and mon.is_queued(thread):
+                                # woken waiter winning the retry race
+                                mon.count = mon.queued_count(thread)
+                                mon.remove_from_queue(thread)
+                            thread.blocked_on = None
+                            stack.pop()
+                            acc += support.on_monitor_entered(
+                                thread, mon, frame, ins.a, recursive
+                            )
+                            vm.trace("acquire", thread, mon=mon,
+                                     recursive=recursive)
+                            pc += 1
+                        else:
+                            acc += cm.monitor_slow
+                            acc += support.on_contended_acquire(thread, mon)
+                            if not mon.is_queued(thread):
+                                mon.enqueue(thread)
+                            thread.blocked_on = mon
+                            thread.state = ThreadState.BLOCKED
+                            thread.blocked_since = clock.now + acc
+                            frame.pc = pc
+                            flush()
+                            vm.trace("block", thread, mon=mon)
+                            return BLOCKED
+                    elif op == bc.MONITOREXIT:
+                        mon = monitor_of(require_ref(stack.pop(), "monitor"))
+                        acc += support.on_monitor_exited(
+                            thread, mon, frame, ins.a
+                        )
+                        successor = mon.release(
+                            thread, prioritized=self._prioritized,
+                            handoff=self._handoff,
+                        )
+                        if successor is not None:
+                            acc += cm.monitor_slow
+                            self._post_release(mon, successor)
+                        acc += support.on_handoff(thread, mon, successor)
+                        vm.trace("release", thread, mon=mon,
+                                 successor=successor)
+                        pc += 1
+
+                    # ----------------------------------------------- calls
+                    elif op == bc.INVOKE:
+                        mdef = ins.c or self._method_def(ins)
+                        argc = ins.b
+                        if argc:
+                            args = stack[-argc:]
+                            del stack[-argc:]
+                        else:
+                            args = []
+                        if len(thread.frames) >= MAX_FRAME_DEPTH:
+                            raise GuestRuntimeError(
+                                "call stack exhausted",
+                                guest_class="StackOverflowError",
+                            )
+                        # The caller parks ON the invoke (the JVM attributes
+                        # in-callee exceptions to the call site's pc, so
+                        # exception ranges ending at the invoke still cover
+                        # it); RETURN advances past it.
+                        frame.pc = pc
+                        thread.frames.append(
+                            Frame(mdef, args, frame.depth + 1)
+                        )
+                        flush()
+                        break  # outer loop re-reads the new frame
+                    elif op == bc.RETURN:
+                        retval = stack.pop() if ins.a else None
+                        thread.frames.pop()
+                        if not thread.frames:
+                            flush()
+                            self._terminate(thread, result=retval)
+                            return TERMINATED
+                        caller = thread.frames[-1]
+                        caller.pc += 1  # step past the parked INVOKE
+                        if ins.a:
+                            caller.stack.append(retval)
+                        flush()
+                        break
+                    elif op == bc.NATIVE:
+                        fn = ins.c or self._native_fn(ins)
+                        argc = ins.b
+                        if argc:
+                            args = stack[-argc:]
+                            del stack[-argc:]
+                        else:
+                            args = []
+                        acc += support.on_native_call(thread, ins.a)
+                        frame.pc = pc  # natives may inspect the thread
+                        result = fn(vm, thread, args)
+                        if result is not None:
+                            stack.append(result)
+                        pc += 1
+                    elif op == bc.ATHROW:
+                        exc = require_ref(stack.pop(), "throwable")
+                        frame.pc = pc
+                        flush()
+                        if not self._dispatch_guest_exception(thread, exc):
+                            return TERMINATED
+                        break
+
+                    # --------------------------------------------- threading
+                    elif op == bc.WAIT or op == bc.TIMED_WAIT:
+                        timed = op == bc.TIMED_WAIT
+                        ref_slot = -2 if timed else -1
+                        mon = monitor_of(
+                            require_ref(stack[ref_slot], "monitor")
+                        )
+                        reacquired = False
+                        if thread.pending_handoff is mon:
+                            # direct handoff after notify/timeout
+                            thread.pending_handoff = None
+                            reacquired = True
+                        elif (
+                            mon.is_queued(thread)
+                            and mon.owner is not thread
+                        ):
+                            # woken (no-handoff mode): retry acquisition
+                            saved_count = mon.queued_count(thread)
+                            if mon.try_acquire(thread):
+                                mon.count = saved_count
+                                mon.remove_from_queue(thread)
+                                reacquired = True
+                            else:
+                                acc += cm.monitor_slow
+                                acc += support.on_contended_acquire(
+                                    thread, mon
+                                )
+                                thread.blocked_on = mon
+                                thread.state = ThreadState.BLOCKED
+                                thread.blocked_since = clock.now + acc
+                                frame.pc = pc
+                                flush()
+                                vm.trace("block", thread, mon=mon)
+                                return BLOCKED
+                        if reacquired:
+                            thread.blocked_on = None
+                            if timed:
+                                stack.pop()
+                            stack.pop()
+                            thread.waiting_on = None
+                            acc += support.on_wait_reacquired(thread, mon)
+                            vm.trace("wait_return", thread, mon=mon)
+                            pc += 1
+                        else:
+                            if mon.owner is not thread:
+                                raise GuestRuntimeError(
+                                    "wait() without monitor ownership",
+                                    guest_class="IllegalMonitorStateException",
+                                )
+                            acc += support.on_wait(thread, mon)
+                            timeout = stack[-1] if timed else 0
+                            saved, successor = mon.wait_release(
+                                thread, prioritized=self._prioritized,
+                                handoff=self._handoff,
+                            )
+                            mon.add_waiter(thread, saved)
+                            thread.waiting_on = mon
+                            thread.state = ThreadState.WAITING
+                            frame.pc = pc
+                            flush()
+                            if successor is not None:
+                                self._post_release(mon, successor)
+                            acc2 = support.on_handoff(thread, mon, successor)
+                            clock.advance(acc2)
+                            if timed and timeout > 0:
+                                vm.scheduler.add_sleeper(
+                                    thread, clock.now + timeout
+                                )
+                            vm.trace("wait", thread, mon=mon,
+                                     timeout=timeout if timed else None)
+                            return WAITING
+                    elif op == bc.NOTIFY or op == bc.NOTIFYALL:
+                        mon = monitor_of(require_ref(stack.pop(), "monitor"))
+                        if mon.owner is not thread:
+                            raise GuestRuntimeError(
+                                "notify() without monitor ownership",
+                                guest_class="IllegalMonitorStateException",
+                            )
+                        if op == bc.NOTIFY:
+                            moved = mon.notify_one()
+                            targets = [moved] if moved else []
+                        else:
+                            targets = mon.notify_all()
+                        for waiter, saved_count in targets:
+                            vm.scheduler.remove_sleeper(waiter)
+                            mon.enqueue(waiter, saved_count)
+                            waiter.waiting_on = None
+                            waiter.blocked_on = mon
+                            waiter.state = ThreadState.BLOCKED
+                            vm.trace("notify", thread, mon=mon,
+                                     woken=waiter)
+                        pc += 1
+                    elif op == bc.SLEEP or op == bc.PAUSE:
+                        if op == bc.SLEEP:
+                            duration = stack.pop()
+                        else:
+                            duration = thread.rng.randint(0, 2 * ins.a)
+                        frame.pc = pc + 1
+                        flush()
+                        if duration <= 0:
+                            thread.state = ThreadState.READY
+                            return YIELDED
+                        thread.state = ThreadState.SLEEPING
+                        vm.scheduler.add_sleeper(
+                            thread, clock.now + duration
+                        )
+                        return SLEEPING
+                    elif op == bc.YIELD:
+                        frame.pc = pc + 1
+                        flush()
+                        return YIELDED
+
+                    # ------------------------------------------- misc/state
+                    elif op == bc.TIME:
+                        flush()
+                        stack.append(clock.now)
+                        pc += 1
+                    elif op == bc.TID:
+                        stack.append(thread.tid)
+                        pc += 1
+                    elif op == bc.RAND:
+                        stack.append(thread.rng.randint(0, ins.a - 1))
+                        pc += 1
+                    elif op == bc.DEBUG:
+                        vm.trace("debug", thread, tag=ins.a)
+                        pc += 1
+                    elif op == bc.SAVESTATE:
+                        state = SavedState(stack, locals_)
+                        frame.saved_states[ins.a] = state
+                        acc += cm.savestate_word * (
+                            len(state.stack) + len(state.locals)
+                        )
+                        pc += 1
+                    elif op == bc.RESTORESTATE:
+                        frame.saved_states[ins.a].restore_into(frame)
+                        pc += 1
+                    elif op == bc.ROLLBACK_HANDLER:
+                        frame.pc = pc
+                        flush()
+                        resumed = self._run_rollback_handler(thread, ins)
+                        if not resumed:
+                            self._unwind_to_handler(thread)
+                        break
+
+                    # ------------------------------------------ cold opcodes
+                    elif op == bc.DIV:
+                        b_ = stack.pop()
+                        a_ = stack.pop()
+                        if isinstance(a_, int) and isinstance(b_, int):
+                            if b_ == 0:
+                                raise GuestRuntimeError(
+                                    "integer division by zero",
+                                    guest_class="ArithmeticException",
+                                )
+                            stack.append(_idiv(a_, b_))
+                        else:
+                            stack.append(self._fdiv(a_, b_))
+                        pc += 1
+                    elif op == bc.NEG:
+                        stack[-1] = -stack[-1]
+                        pc += 1
+                    elif op == bc.AND:
+                        b_ = stack.pop()
+                        stack[-1] = stack[-1] & b_
+                        pc += 1
+                    elif op == bc.OR:
+                        b_ = stack.pop()
+                        stack[-1] = stack[-1] | b_
+                        pc += 1
+                    elif op == bc.XOR:
+                        b_ = stack.pop()
+                        stack[-1] = stack[-1] ^ b_
+                        pc += 1
+                    elif op == bc.SHL:
+                        b_ = stack.pop()
+                        stack[-1] = stack[-1] << b_
+                        pc += 1
+                    elif op == bc.SHR:
+                        b_ = stack.pop()
+                        stack[-1] = stack[-1] >> b_
+                        pc += 1
+                    elif op == bc.NOT:
+                        stack[-1] = 0 if stack[-1] else 1
+                        pc += 1
+                    elif op == bc.EQ:
+                        b_ = stack.pop()
+                        a_ = stack.pop()
+                        stack.append(1 if self._guest_eq(a_, b_) else 0)
+                        pc += 1
+                    elif op == bc.NE:
+                        b_ = stack.pop()
+                        a_ = stack.pop()
+                        stack.append(0 if self._guest_eq(a_, b_) else 1)
+                        pc += 1
+                    elif op == bc.LE:
+                        b_ = stack.pop()
+                        stack[-1] = 1 if stack[-1] <= b_ else 0
+                        pc += 1
+                    elif op == bc.GT:
+                        b_ = stack.pop()
+                        stack[-1] = 1 if stack[-1] > b_ else 0
+                        pc += 1
+                    elif op == bc.DUP:
+                        stack.append(stack[-1])
+                        pc += 1
+                    elif op == bc.POP:
+                        stack.pop()
+                        pc += 1
+                    elif op == bc.SWAP:
+                        stack[-1], stack[-2] = stack[-2], stack[-1]
+                        pc += 1
+                    elif op == bc.NOP:
+                        pc += 1
+                    else:  # pragma: no cover - verifier rejects unknown ops
+                        raise ReproError(f"unimplemented opcode {op}")
+            except GuestRuntimeError as exc:
+                frame.pc = pc
+                flush()
+                guest_exc = vm.make_guest_exception(
+                    exc.guest_class, str(exc)
+                )
+                if not self._dispatch_guest_exception(thread, guest_exc):
+                    return TERMINATED
+                # loop around; frame/pc were updated by the dispatcher

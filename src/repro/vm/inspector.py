@@ -184,3 +184,17 @@ class Inspector:
 
     def disassemble_method(self, class_name: str, method: str) -> str:
         return disassemble(self.vm.resolve_method(class_name, method).code)
+
+    def disassemble_decoded(self, class_name: str, method: str) -> str:
+        """Predecode view of a method: fused basic blocks with their
+        batched costs, superinstruction counts, and the generated Python
+        source of each block (see :mod:`repro.vm.predecode`).
+
+        Predecodes on demand, so it works regardless of whether the fast
+        interpreter has executed the method yet (and under the reference
+        interpreter, where it shows what *would* fuse).
+        """
+        from repro.vm.predecode import predecode_method, render_decoded
+
+        m = self.vm.resolve_method(class_name, method)
+        return render_decoded(predecode_method(self.vm, m))

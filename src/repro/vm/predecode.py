@@ -1,0 +1,756 @@
+"""Predecode: translate linked bytecode into fused basic-block closures.
+
+The fast interpreter (:mod:`repro.vm.fastinterp`) spends almost all of its
+host time decoding guest instructions one at a time through a long
+``if/elif`` chain.  This module removes that cost for straight-line code:
+at first execution of a method it discovers *fusable runs* — maximal
+sequences of opcodes that can never flush the virtual clock, park the
+thread, or emit a trace event — and compiles each run into one Python
+function (a basic-block superinstruction).  The block carries its summed
+static cycle cost and instruction count, so the interpreter charges a
+whole block with two additions instead of one dispatch per instruction
+(*basic-block cost batching*).
+
+Semantics preservation is the hard requirement: the reference interpreter
+(:class:`repro.vm.interpreter.Interpreter`) is the oracle and the parity
+suite (``tests/test_interp_parity.py``) asserts byte-identical virtual
+clocks, trace streams, schedules and checker fingerprints.  The design
+invariants that make this safe:
+
+* Blocks contain only ops from :data:`repro.vm.bytecode.FUSABLE_OPS` and
+  never include a yield point.  Every clock flush, preemption check,
+  revocation delivery, fault-injection probe and trace event therefore
+  happens at exactly the pcs the reference uses.
+* Cost batching is exact, not approximate: the block's static cost equals
+  the sum the reference would accrue into its ``acc`` local between the
+  same two flush points, and dynamic (write/read barrier) cycles are
+  accumulated into a side cell the interpreter folds into ``acc`` after
+  the block returns — mirroring the reference's ``acc +=
+  support.before_store(...)`` lines.
+* Guest exceptions thrown mid-block are repaired precisely: before every
+  op that can raise a :class:`~repro.errors.GuestRuntimeError` the block
+  stores that op's pc into a fault cell, and the interpreter subtracts
+  the pre-charged cost/count of the not-executed block suffix before
+  dispatching the exception.  The operand stack needs no repair because
+  JVM exception dispatch clears it (handlers in the same frame) or
+  discards the frame.
+* Heap ops go through the *same* seams as the reference — ``require_ref``,
+  ``VMObject.get/put``, ``Heap.get_static/put_static``,
+  ``support.after_load/before_store`` — with per-site monomorphic inline
+  cache cells replacing the reference's ``ins.c`` caches.
+
+Superinstruction patterns recognised during code generation:
+
+* ``cmp+branch``: a comparison feeding a forward branch compiles to one
+  conditional ``return`` with no intermediate 0/1 materialisation;
+* ``const+div``/``const+mod``: division by a non-zero integer constant
+  skips the zero-divisor test;
+* ``alu+store``: a STORE whose value was computed in-block writes the
+  local directly without touching the operand stack.
+
+Predecoding is lazy (first execution of each method, after class loading,
+transformation and barrier elision have settled) and cached on the
+:class:`~repro.vm.classfile.MethodDef`, which is per-VM because
+``JVM.load`` always copies class definitions.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.errors import GuestRuntimeError
+from repro.vm import bytecode as bc
+from repro.vm.classfile import MethodDef
+from repro.vm.heap import require_ref
+from repro.vm.interpreter import Interpreter, _idiv, _imod
+
+
+# --------------------------------------------------------------- helpers
+# Runtime helpers referenced from generated code (short upper-case names
+# keep the generated source readable in dumps and tracebacks).
+
+def _mod_values(a, b):
+    """MOD with an unknown divisor — replicates the reference arm."""
+    if isinstance(a, int) and isinstance(b, int):
+        if b == 0:
+            raise GuestRuntimeError(
+                "integer remainder by zero",
+                guest_class="ArithmeticException",
+            )
+        return _imod(a, b)
+    return Interpreter._fmod(a, b)
+
+
+def _div_values(a, b):
+    """DIV with an unknown divisor — replicates the reference arm."""
+    if isinstance(a, int) and isinstance(b, int):
+        if b == 0:
+            raise GuestRuntimeError(
+                "integer division by zero",
+                guest_class="ArithmeticException",
+            )
+        return _idiv(a, b)
+    return Interpreter._fdiv(a, b)
+
+
+def _mod_const(a, b):
+    """MOD by a known non-zero int constant: no zero test needed."""
+    if isinstance(a, int):
+        return _imod(a, b)
+    return Interpreter._fmod(a, b)
+
+
+def _div_const(a, b):
+    """DIV by a known non-zero int constant: no zero test needed."""
+    if isinstance(a, int):
+        return _idiv(a, b)
+    return Interpreter._fdiv(a, b)
+
+
+def _mod_pos_const(a, k):
+    """MOD by a known *positive* int constant, without the _idiv round trip.
+
+    Java remainder takes the dividend's sign; Python ``%`` takes the
+    divisor's, so correct the non-zero negative-dividend case.  Equivalent
+    to ``_imod(a, k)`` for every int ``a`` when ``k > 0``.
+    """
+    if isinstance(a, int):
+        r = a % k
+        return r - k if r and a < 0 else r
+    return Interpreter._fmod(a, k)
+
+
+def _div_pos_const(a, k):
+    """DIV by a known positive int constant (truncation toward zero)."""
+    if isinstance(a, int):
+        return a // k if a >= 0 else -((-a) // k)
+    return Interpreter._fdiv(a, k)
+
+
+_CMP_EXPR = {
+    bc.LT: "<", bc.LE: "<=", bc.GT: ">", bc.GE: ">=",
+}
+_BIN_EXPR = {
+    bc.ADD: "+", bc.SUB: "-", bc.MUL: "*", bc.AND: "&", bc.OR: "|",
+    bc.XOR: "^", bc.SHL: "<<", bc.SHR: ">>",
+}
+
+#: Single-instruction runs of these ops are cheaper through the dispatch
+#: chain than through a function call; only fuse them in company.
+_SINGLETON_SKIP = bc.FUSABLE_PURE | bc.FUSABLE_BRANCH
+
+_NOVAL = object()
+
+
+class _Sym:
+    """One symbolic operand-stack entry sitting above the real stack.
+
+    ``expr`` is always a *pure, repeatable* Python expression (a literal,
+    a constant-pool ref, a generated temp, or a ``locals_[i]`` read);
+    ``deps`` lists the local slots the expression reads so STORE/IINC can
+    materialise it first; ``val`` carries the Python value for literal
+    constants (enables the const-divisor superinstruction).
+    """
+
+    __slots__ = ("expr", "deps", "val")
+
+    def __init__(self, expr: str, deps: tuple = (), val: Any = _NOVAL):
+        self.expr = expr
+        self.deps = deps
+        self.val = val
+
+
+class BasicBlock:
+    """A compiled fusable run ``[start, end)`` of one method's code."""
+
+    __slots__ = (
+        "start", "end", "cost", "count", "fn", "dynamic", "raising",
+        "suffix_cost", "suffix_count", "source",
+    )
+
+    def __init__(self, start: int, end: int, cost: int, count: int,
+                 fn, dynamic: bool, raising: bool,
+                 suffix_cost: tuple, suffix_count: tuple, source: str):
+        self.start = start
+        self.end = end
+        #: summed static cycle cost of all instructions in the run
+        self.cost = cost
+        #: number of guest instructions in the run
+        self.count = count
+        #: ``fn(stack, locals_, F, A, T) -> next pc``
+        self.fn = fn
+        #: True when the block accrues dynamic barrier cycles into ``A[0]``
+        self.dynamic = dynamic
+        #: True when the block can raise a GuestRuntimeError (uses ``F[0]``)
+        self.raising = raising
+        #: ``suffix_cost[k]``: static cost of instructions *after* relative
+        #: index ``k`` — subtracted when instruction ``start+k`` faults.
+        self.suffix_cost = suffix_cost
+        self.suffix_count = suffix_count
+        #: generated Python source (debugging / ``Inspector`` dumps)
+        self.source = source
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<BasicBlock [{self.start},{self.end}) cost={self.cost} "
+            f"count={self.count} dynamic={self.dynamic} "
+            f"raising={self.raising}>"
+        )
+
+
+class DecodedMethod:
+    """Predecode result for one :class:`MethodDef`.
+
+    ``blocks`` is indexed by pc: ``blocks[pc]`` is the :class:`BasicBlock`
+    starting at ``pc`` or ``None`` when that pc executes through the
+    interpreter's dispatch chain.  Missing blocks are always safe — the
+    fast interpreter retains the full reference chain as its fallback, so
+    predecode coverage affects speed only, never behaviour.
+    """
+
+    __slots__ = ("method", "blocks", "block_list", "superinstructions",
+                 "fused_instructions")
+
+    def __init__(self, method: MethodDef, blocks: list,
+                 superinstructions: dict):
+        self.method = method
+        self.blocks = blocks
+        self.block_list = [b for b in blocks if b is not None]
+        #: pattern name -> number of fusions applied
+        self.superinstructions = superinstructions
+        self.fused_instructions = sum(b.count for b in self.block_list)
+
+
+def invalidate(method: MethodDef) -> None:
+    """Drop a cached predecode (call after mutating ``method.code``)."""
+    method.__dict__.pop("_decoded", None)
+
+
+def predecode_method(vm, method: MethodDef) -> DecodedMethod:
+    """Predecode ``method`` for ``vm``; cached on the MethodDef.
+
+    Must run only after the method is linked into ``vm`` (costs and yield
+    points assigned, transformer and barrier elision done) — the fast
+    interpreter calls it lazily at first execution, which satisfies that.
+    """
+    cached = method.__dict__.get("_decoded")
+    if cached is not None:
+        return cached
+    dm = _Predecoder(vm, method).build()
+    method._decoded = dm
+    return dm
+
+
+# ------------------------------------------------------------ discovery
+def find_leaders(method: MethodDef) -> set[int]:
+    """Pcs where control can (re-)enter a method mid-body.
+
+    Blocks must start at (or after) a leader and never span one: branch
+    targets, exception/rollback handlers, rollback resume points, and the
+    fall-through successor of every chain-executed instruction (the chain
+    leaves ``frame.pc`` there on preemption, monitor re-entry, wait
+    wake-up, invoke return, ...).
+    """
+    code = method.code
+    leaders = {0}
+    for pc, ins in enumerate(code):
+        op = ins.op
+        if bc.is_branch(op) and isinstance(ins.a, int):
+            leaders.add(ins.a)
+        if op == bc.ROLLBACK_HANDLER and isinstance(ins.b, int):
+            leaders.add(ins.b)
+        if op not in bc.FUSABLE_OPS or ins.ypoint:
+            leaders.add(pc + 1)
+    for entry in method.exc_table:
+        leaders.add(entry.handler)
+    return leaders
+
+
+def find_runs(method: MethodDef, leaders: set[int],
+              fuse_heap: bool = True) -> list[tuple[int, int]]:
+    """Maximal fusable runs ``[start, end)``; branches only as terminators."""
+    code = method.code
+    n = len(code)
+    runs = []
+    pc = 0
+    while pc < n:
+        if not _fusable(code[pc], fuse_heap):
+            pc += 1
+            continue
+        start = pc
+        end = pc
+        while end < n:
+            ins = code[end]
+            if end > start and end in leaders:
+                break
+            if not _fusable(ins, fuse_heap):
+                break
+            end += 1
+            if ins.op in bc.FUSABLE_BRANCH:
+                break  # branches terminate the run
+        if end - start == 1 and code[start].op in _SINGLETON_SKIP:
+            pc = end
+            continue  # cheaper through the dispatch chain
+        runs.append((start, end))
+        pc = end
+    return runs
+
+
+def _fusable(ins, fuse_heap: bool) -> bool:
+    op = ins.op
+    if op not in bc.FUSABLE_OPS or ins.ypoint:
+        return False
+    if op in bc.FUSABLE_HEAP and not fuse_heap:
+        return False
+    if op in bc.FUSABLE_BRANCH and not isinstance(ins.a, int):
+        return False  # unresolved label (never post-build, but be safe)
+    return True
+
+
+# -------------------------------------------------------------- compiler
+class _Predecoder:
+    """Compiles one method's fusable runs into block closures."""
+
+    def __init__(self, vm, method: MethodDef):
+        self.vm = vm
+        self.method = method
+        self.read_barriers = vm.options.modified
+        # trace_memory needs per-access events; the option normally forces
+        # the reference interpreter, but stay safe if reached regardless.
+        self.fuse_heap = not (vm.options.trace and vm.options.trace_memory)
+        self.consts: list[Any] = []   # K: shared constant pool
+        self.cells: list[Any] = []    # C: per-site inline-cache cells
+        self.stats: dict[str, int] = {}
+        heap = vm.heap
+        support = vm.support
+
+        def _newarray(length, fill):
+            if not isinstance(length, int) or length < 0:
+                raise GuestRuntimeError(
+                    f"negative array size {length}",
+                    guest_class="NegativeArraySizeException",
+                )
+            return heap.allocate_array(length, fill)
+
+        self.ns = {
+            "__builtins__": {},
+            "len": len,
+            "K": self.consts,
+            "C": self.cells,
+            "RR": require_ref,
+            "GEQ": Interpreter._guest_eq,
+            "MODV": _mod_values,
+            "DIVV": _div_values,
+            "MODC": _mod_const,
+            "DIVC": _div_const,
+            "MODP": _mod_pos_const,
+            "DIVP": _div_pos_const,
+            "GS": heap.get_static,
+            "PS": heap.put_static,
+            "SD": heap.static_def,
+            "ALLOC": heap.allocate,
+            "NEWA": _newarray,
+            "CLSO": heap.class_object,
+            "CDEF": vm.classdef,
+            "AL": support.after_load,
+            "BS": support.before_store,
+        }
+
+    def build(self) -> DecodedMethod:
+        method = self.method
+        blocks: list[Optional[BasicBlock]] = [None] * len(method.code)
+        leaders = find_leaders(method)
+        for start, end in find_runs(method, leaders, self.fuse_heap):
+            blocks[start] = self._compile(start, end)
+        return DecodedMethod(method, blocks, self.stats)
+
+    # ---------------------------------------------------------- plumbing
+    def _kref(self, value: Any) -> str:
+        self.consts.append(value)
+        return f"K[{len(self.consts) - 1}]"
+
+    def _cell(self) -> int:
+        self.cells.append(None)
+        return len(self.cells) - 1
+
+    def _const_expr(self, value: Any):
+        """A literal expression when safely round-trippable, else K[i]."""
+        if value is None:
+            return "None", value
+        if type(value) is bool or type(value) is int:
+            return repr(value), value
+        if type(value) is str and len(value) < 200:
+            return repr(value), value
+        return self._kref(value), value
+
+    def _bump(self, pattern: str) -> None:
+        self.stats[pattern] = self.stats.get(pattern, 0) + 1
+
+    # ------------------------------------------------------------- codegen
+    def _compile(self, start: int, end: int) -> BasicBlock:
+        code = self.method.code
+        lines: list[str] = []
+        sym: list[_Sym] = []
+        state = {"tmp": 0, "raising": False, "dynamic": False}
+
+        def newtmp() -> str:
+            name = f"t{state['tmp']}"
+            state["tmp"] += 1
+            return name
+
+        def pop() -> _Sym:
+            if sym:
+                return sym.pop()
+            t = newtmp()
+            lines.append(f"{t} = stack.pop()")
+            return _Sym(t)
+
+        def push(entry: _Sym) -> None:
+            sym.append(entry)
+
+        def push_tmp(expr: str) -> str:
+            """Evaluate ``expr`` into a temp now; push the temp."""
+            t = newtmp()
+            lines.append(f"{t} = {expr}")
+            sym.append(_Sym(t))
+            return t
+
+        def spill(local: int) -> None:
+            """Materialise symbolic entries that read local ``local``."""
+            for e in sym:
+                if local in e.deps:
+                    t = newtmp()
+                    lines.append(f"{t} = {e.expr}")
+                    e.expr = t
+                    e.deps = ()
+                    e.val = _NOVAL
+
+        def flush_stack() -> None:
+            if not sym:
+                return
+            if len(sym) == 1:
+                lines.append(f"stack.append({sym[0].expr})")
+            else:
+                exprs = ", ".join(e.expr for e in sym)
+                lines.append(f"stack.extend(({exprs}))")
+            del sym[:]
+
+        def set_fault(pc: int) -> None:
+            state["raising"] = True
+            lines.append(f"F[0] = {pc}")
+
+        def field_cache(obj_var: str, name_expr: str) -> str:
+            """Monomorphic inline cache mirroring ``_field_def``."""
+            j = self._cell()
+            cv = newtmp()
+            lines.append(f"{cv} = C[{j}]")
+            lines.append(
+                f"if {cv} is None or {cv}[0] is not {obj_var}.classdef:"
+            )
+            lines.append(
+                f"    {cv} = ({obj_var}.classdef, "
+                f"{obj_var}.classdef.field({name_expr}))"
+            )
+            lines.append(f"    C[{j}] = {cv}")
+            return cv
+
+        def static_cache(key_ref: str) -> str:
+            j = self._cell()
+            cv = newtmp()
+            lines.append(f"{cv} = C[{j}]")
+            lines.append(f"if {cv} is None:")
+            lines.append(f"    {cv} = SD(*{key_ref})")
+            lines.append(f"    C[{j}] = {cv}")
+            return cv
+
+        read_barriers = self.read_barriers
+        exit_pc: Optional[str] = None  # set when a branch terminator returns
+        pc = start
+        while pc < end:
+            ins = code[pc]
+            op = ins.op
+
+            if op == bc.CONST:
+                expr, val = self._const_expr(ins.a)
+                push(_Sym(expr, (), val))
+            elif op == bc.LOAD:
+                push(_Sym(f"locals_[{ins.a}]", (ins.a,)))
+            elif op == bc.STORE:
+                fused = bool(sym)
+                v = pop()
+                spill(ins.a)
+                lines.append(f"locals_[{ins.a}] = {v.expr}")
+                if fused:
+                    self._bump("alu+store")
+            elif op == bc.IINC:
+                spill(ins.a)
+                lines.append(f"locals_[{ins.a}] += {ins.b}")
+            elif op == bc.DUP:
+                if sym:
+                    top = sym[-1]
+                    push(_Sym(top.expr, top.deps, top.val))
+                else:
+                    t = newtmp()
+                    lines.append(f"{t} = stack[-1]")
+                    push(_Sym(t))
+            elif op == bc.POP:
+                if sym:
+                    sym.pop()
+                else:
+                    lines.append("del stack[-1]")
+            elif op == bc.SWAP:
+                a = pop()
+                b_ = pop()
+                push(a)
+                push(b_)
+            elif op == bc.NOP:
+                pass
+            elif op in _BIN_EXPR:
+                b_ = pop()
+                a = pop()
+                push_tmp(f"({a.expr}) {_BIN_EXPR[op]} ({b_.expr})")
+            elif op == bc.NEG:
+                v = pop()
+                push_tmp(f"-({v.expr})")
+            elif op == bc.NOT:
+                v = pop()
+                push_tmp(f"0 if ({v.expr}) else 1")
+            elif op in _CMP_EXPR or op == bc.EQ or op == bc.NE:
+                b_ = pop()
+                a = pop()
+                if op in _CMP_EXPR:
+                    cond = f"({a.expr}) {_CMP_EXPR[op]} ({b_.expr})"
+                    negated = False
+                else:
+                    cond = f"GEQ({a.expr}, {b_.expr})"
+                    negated = op == bc.NE
+                nxt = code[pc + 1] if pc + 1 < end else None
+                if nxt is not None and nxt.op in (bc.IF, bc.IFNOT):
+                    # cmp+branch superinstruction: one conditional return,
+                    # no 0/1 materialisation.  The branch is the block
+                    # terminator by construction.
+                    taken, fall = nxt.a, pc + 2
+                    if negated:
+                        cond = f"not {cond}"
+                    flush_stack()
+                    if nxt.op == bc.IF:
+                        lines.append(f"return {taken} if {cond} else {fall}")
+                    else:
+                        lines.append(f"return {fall} if {cond} else {taken}")
+                    self._bump("cmp+branch")
+                    exit_pc = "fused"
+                    pc += 2
+                    break
+                if negated:
+                    push_tmp(f"0 if {cond} else 1")
+                else:
+                    push_tmp(f"1 if {cond} else 0")
+            elif op == bc.DIV or op == bc.MOD:
+                b_ = pop()
+                a = pop()
+                helper = "MOD" if op == bc.MOD else "DIV"
+                if (b_.val is not _NOVAL and isinstance(b_.val, int)
+                        and b_.val != 0):
+                    suffix = "P" if b_.val > 0 else "C"
+                    push_tmp(f"{helper}{suffix}({a.expr}, {b_.expr})")
+                    self._bump("const+mod" if op == bc.MOD else "const+div")
+                else:
+                    set_fault(pc)
+                    push_tmp(f"{helper}V({a.expr}, {b_.expr})")
+            elif op == bc.TID:
+                push(_Sym("T.tid"))
+
+            # -------------------------------------------------- heap ops
+            elif op == bc.GETFIELD:
+                o = pop()
+                set_fault(pc)
+                to = newtmp()
+                lines.append(f"{to} = RR({o.expr}, 'object')")
+                name_expr, _ = self._const_expr(ins.a)
+                cv = field_cache(to, name_expr)
+                push_tmp(f"{to}.get({name_expr})")
+                if read_barriers:
+                    state["dynamic"] = True
+                    lines.append(
+                        f"A[0] += AL(T, {to}, {name_expr}, {cv}[1].volatile)"
+                    )
+            elif op == bc.PUTFIELD:
+                v = pop()
+                o = pop()
+                set_fault(pc)
+                to = newtmp()
+                lines.append(f"{to} = RR({o.expr}, 'object')")
+                name_expr, _ = self._const_expr(ins.a)
+                cv = field_cache(to, name_expr)
+                if ins.barrier:
+                    told = newtmp()
+                    lines.append(f"{told} = {to}.put({name_expr}, {v.expr})")
+                    state["dynamic"] = True
+                    lines.append(
+                        f"A[0] += BS(T, {to}, {name_expr}, {told}, "
+                        f"{cv}[1].volatile)"
+                    )
+                else:
+                    lines.append(f"{to}.put({name_expr}, {v.expr})")
+            elif op == bc.ALOAD:
+                idx = pop()
+                arr = pop()
+                set_fault(pc)
+                ta = newtmp()
+                lines.append(f"{ta} = RR({arr.expr}, 'array')")
+                if read_barriers:
+                    # the index expression is evaluated twice (get + AL);
+                    # pin it so both reads agree even for locals_ exprs
+                    ti = newtmp()
+                    lines.append(f"{ti} = {idx.expr}")
+                    push_tmp(f"{ta}.get({ti})")
+                    state["dynamic"] = True
+                    lines.append(f"A[0] += AL(T, {ta}, {ti}, False)")
+                else:
+                    push_tmp(f"{ta}.get({idx.expr})")
+            elif op == bc.ASTORE:
+                v = pop()
+                idx = pop()
+                arr = pop()
+                set_fault(pc)
+                ta = newtmp()
+                lines.append(f"{ta} = RR({arr.expr}, 'array')")
+                if ins.barrier:
+                    ti = newtmp()
+                    lines.append(f"{ti} = {idx.expr}")
+                    told = newtmp()
+                    lines.append(f"{told} = {ta}.put({ti}, {v.expr})")
+                    state["dynamic"] = True
+                    lines.append(f"A[0] += BS(T, {ta}, {ti}, {told}, False)")
+                else:
+                    lines.append(f"{ta}.put({idx.expr}, {v.expr})")
+            elif op == bc.GETSTATIC:
+                key_ref = self._kref(ins.a)
+                cv = static_cache(key_ref)
+                push_tmp(f"GS({key_ref})")
+                if read_barriers:
+                    state["dynamic"] = True
+                    lines.append(
+                        f"A[0] += AL(T, {key_ref}, {key_ref}[1], "
+                        f"{cv}.volatile)"
+                    )
+            elif op == bc.PUTSTATIC:
+                v = pop()
+                key_ref = self._kref(ins.a)
+                cv = static_cache(key_ref)
+                if ins.barrier:
+                    told = newtmp()
+                    lines.append(f"{told} = PS({key_ref}, {v.expr})")
+                    state["dynamic"] = True
+                    lines.append(
+                        f"A[0] += BS(T, {key_ref}, {key_ref}[1], {told}, "
+                        f"{cv}.volatile)"
+                    )
+                else:
+                    lines.append(f"PS({key_ref}, {v.expr})")
+            elif op == bc.ARRAYLEN:
+                arr = pop()
+                set_fault(pc)
+                ta = newtmp()
+                lines.append(f"{ta} = RR({arr.expr}, 'array')")
+                push_tmp(f"len({ta})")
+            elif op == bc.NEW:
+                j = self._cell()
+                cv = newtmp()
+                name_expr, _ = self._const_expr(ins.a)
+                lines.append(f"{cv} = C[{j}]")
+                lines.append(f"if {cv} is None:")
+                lines.append(f"    {cv} = CDEF({name_expr})")
+                lines.append(f"    C[{j}] = {cv}")
+                push_tmp(f"ALLOC({cv})")
+            elif op == bc.NEWARRAY:
+                length = pop()
+                set_fault(pc)
+                fill_expr, _ = self._const_expr(ins.a)
+                push_tmp(f"NEWA({length.expr}, {fill_expr})")
+            elif op == bc.CLASSREF:
+                j = self._cell()
+                cv = newtmp()
+                name_expr, _ = self._const_expr(ins.a)
+                lines.append(f"{cv} = C[{j}]")
+                lines.append(f"if {cv} is None:")
+                lines.append(f"    {cv} = CLSO({name_expr})")
+                lines.append(f"    C[{j}] = {cv}")
+                push(_Sym(cv))
+
+            # ------------------------------------------------ terminators
+            elif op == bc.GOTO:
+                flush_stack()
+                lines.append(f"return {ins.a}")
+                exit_pc = "fused"
+                pc += 1
+                break
+            elif op == bc.IF or op == bc.IFNOT:
+                v = pop()
+                flush_stack()
+                taken, fall = ins.a, pc + 1
+                if op == bc.IF:
+                    lines.append(f"return {taken} if {v.expr} else {fall}")
+                else:
+                    lines.append(f"return {fall} if {v.expr} else {taken}")
+                exit_pc = "fused"
+                pc += 1
+                break
+            else:  # pragma: no cover - find_runs filters non-fusable ops
+                raise AssertionError(f"non-fusable op {op} in run")
+            pc += 1
+
+        if exit_pc is None:
+            flush_stack()
+            lines.append(f"return {end}")
+        run = code[start:end]
+        return self._emit(start, end, run, lines,
+                          state["dynamic"], state["raising"])
+
+    def _emit(self, start: int, end: int, run, lines: list[str],
+              dynamic: bool, raising: bool) -> BasicBlock:
+        if dynamic:
+            lines.insert(0, "A[0] = 0")
+        name = f"_b{start}"
+        body = "\n".join("    " + ln for ln in lines)
+        source = f"def {name}(stack, locals_, F, A, T):\n{body}\n"
+        filename = f"<fused {self.method.qualified_name()}@{start}>"
+        exec(compile(source, filename, "exec"), self.ns)
+        fn = self.ns.pop(name)
+
+        cost = sum(ins.cost for ins in run)
+        count = len(run)
+        # suffix arrays for mid-block fault repair: entry k holds the
+        # cost/count of the instructions strictly after relative index k.
+        suffix_cost = []
+        suffix_count = []
+        tail_cost = 0
+        tail_count = 0
+        for ins in reversed(run):
+            suffix_cost.append(tail_cost)
+            suffix_count.append(tail_count)
+            tail_cost += ins.cost
+            tail_count += 1
+        suffix_cost.reverse()
+        suffix_count.reverse()
+        return BasicBlock(
+            start, end, cost, count, fn, dynamic, raising,
+            tuple(suffix_cost), tuple(suffix_count), source,
+        )
+
+
+def render_decoded(dm: DecodedMethod) -> str:
+    """Human-readable dump of a predecoded method (Inspector/debugging)."""
+    out = [
+        f"{dm.method.qualified_name()}: {len(dm.block_list)} blocks, "
+        f"{dm.fused_instructions}/{len(dm.method.code)} instructions fused, "
+        f"superinstructions={dm.superinstructions or {}}"
+    ]
+    for b in dm.block_list:
+        out.append(
+            f"-- block [{b.start},{b.end}) cost={b.cost} count={b.count}"
+            f"{' dynamic' if b.dynamic else ''}"
+            f"{' raising' if b.raising else ''}"
+        )
+        out.append(b.source.rstrip())
+    return "\n".join(out)

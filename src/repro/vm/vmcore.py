@@ -134,6 +134,12 @@ class VMOptions:
     #: raise DeadlockError instead of revoking when a wait-for cycle forms
     #: (forces rollback mode to behave like the baseline for deadlocks)
     resolve_deadlocks: bool = True
+    #: interpreter engine: "fast" (predecoded basic-block dispatch,
+    #: :mod:`repro.vm.fastinterp`) or "reference" (instruction-at-a-time,
+    #: the differential oracle).  Both produce byte-identical virtual
+    #: clocks, traces, schedules and fingerprints; the reference engine is
+    #: auto-selected when ``trace_memory`` needs per-access events.
+    interp: str = "fast"
 
     def __post_init__(self) -> None:
         if self.mode not in MODES:
@@ -142,11 +148,21 @@ class VMOptions:
             raise ValueError(f"unknown scheduler {self.scheduler!r}")
         if self.detection not in ("acquire", "periodic", "both"):
             raise ValueError(f"unknown detection mode {self.detection!r}")
+        if self.interp not in ("fast", "reference"):
+            raise ValueError(f"unknown interpreter {self.interp!r}")
 
     @property
     def modified(self) -> bool:
         """True when the load-time transformer and revocation runtime run."""
         return self.mode == "rollback"
+
+    @property
+    def effective_interp(self) -> str:
+        """The engine actually installed: per-access memory tracing needs
+        per-instruction events, which forces the reference path."""
+        if self.trace and self.trace_memory:
+            return "reference"
+        return self.interp
 
     def with_(self, **changes) -> "VMOptions":
         return replace(self, **changes)
@@ -187,7 +203,14 @@ class JVM:
             from repro.faults.plane import FaultPlane
 
             self.fault_plane = FaultPlane(self, options.faults)
-        self.interpreter = Interpreter(self)
+        if options.effective_interp == "fast":
+            # Imported here: fastinterp pulls in the predecoder, which most
+            # reference-engine users (and docs builds) never need.
+            from repro.vm.fastinterp import FastInterpreter
+
+            self.interpreter: Interpreter = FastInterpreter(self)
+        else:
+            self.interpreter = Interpreter(self)
         self.scheduler: BaseScheduler = (
             PriorityScheduler(self)
             if options.scheduler == "priority"
@@ -232,6 +255,7 @@ class JVM:
         mirroring where the Jikes RVM compilers insert them (footnote 4).
         """
         cm = self.cost_model
+        method.invalidate_decoded()  # linking invalidates any predecode
         for pc, ins in enumerate(method.code):
             ins.cost = cm.instruction_cost(ins.op)
             if ins.op == bc.INVOKE:

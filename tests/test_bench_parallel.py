@@ -207,3 +207,51 @@ class TestEngineConfig:
         assert engine.stats.cache_hits == 2
         text = render_engine_stats(engine.last_stats)
         assert "2 cache hits" in text
+
+    def test_stats_track_guest_instructions(self, tmp_path):
+        engine = RunEngine(jobs=1, cache=ResultCache(tmp_path))
+        results = compare_modes(TINY, repetitions=1, engine=engine)
+        from repro.bench.parallel import guest_instructions
+
+        expected = sum(
+            guest_instructions(r)
+            for runs in results.runs.values() for r in runs
+        )
+        assert expected > 0
+        assert engine.stats.guest_instructions == expected
+        assert sum(engine.stats.run_instructions) == expected
+        assert engine.stats.ips() > 0
+        assert "guest instructions" in engine.stats.render()
+        # cache hits cost no host time, so they must not count
+        engine2 = RunEngine(jobs=1, cache=ResultCache(tmp_path))
+        compare_modes(TINY, repetitions=1, engine=engine2)
+        assert engine2.stats.cache_hits == 2
+        assert engine2.stats.guest_instructions == 0
+
+    def test_host_perf_report_schema(self, monkeypatch, tmp_path):
+        """measure_host_perf on a microscopic sweep: schema/1 shape."""
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "0.05")
+        from repro.bench.figures import FigurePanel
+        from repro.bench.hostperf import (
+            SCHEMA,
+            load_host_perf,
+            measure_host_perf,
+            write_host_perf,
+        )
+
+        report = measure_host_perf(
+            [FigurePanel(5, "a")], repetitions=1, write_ratios=(0, 100),
+        )
+        assert report["schema"] == SCHEMA
+        assert report["panels"] == ["5a"]
+        assert set(report["interps"]) == {"reference", "fast"}
+        for record in report["interps"].values():
+            assert record["runs"] == 4
+            assert record["guest_instructions"] > 0
+            assert record["ips"] > 0
+        assert report["guest_instructions_match"] is True
+        assert "speedup_fast_vs_reference" in report
+        path = tmp_path / "BENCH_interp.json"
+        write_host_perf(report, path)
+        assert load_host_perf(path) == __import__("json").load(open(path))
+        assert load_host_perf(tmp_path / "missing.json") is None

@@ -85,3 +85,51 @@ class TestCostModel:
     def test_frozen(self):
         with pytest.raises(Exception):
             CostModel().simple = 5
+
+
+class TestCostTable:
+    """The precomputed per-opcode table (built in ``__post_init__``)."""
+
+    def test_table_matches_the_rule_set_for_every_opcode(self):
+        cm = CostModel()
+        assert len(cm._cost_table) == bc._MAX_OP
+        for op in range(bc._MAX_OP):
+            assert cm.instruction_cost(op) == cm._static_cost(op)
+
+    def test_pinned_default_costs(self):
+        """Absolute values: a silent cost change shifts every virtual
+        clock in the repo, so pin the defaults explicitly."""
+        table = CostModel()._cost_table
+        expected = {
+            bc.CONST: 1, bc.LOAD: 1, bc.ADD: 1, bc.GOTO: 1,
+            bc.GETFIELD: 4, bc.ASTORE: 4, bc.ARRAYLEN: 4,
+            bc.NEW: 20, bc.NEWARRAY: 20,
+            bc.MONITORENTER: 15, bc.MONITOREXIT: 15,
+            bc.INVOKE: 10, bc.NATIVE: 30,
+            bc.WAIT: 30, bc.TIMED_WAIT: 30, bc.NOTIFY: 30,
+            bc.NOTIFYALL: 30, bc.SLEEP: 30,
+            bc.SAVESTATE: 4,
+            bc.DEBUG: 0, bc.NOP: 0, bc.ROLLBACK_HANDLER: 0,
+            bc.RESTORESTATE: 0,
+        }
+        for op, cost in expected.items():
+            assert table[op] == cost, bc.mnemonic(op)
+
+    def test_out_of_range_opcode_falls_back_to_simple(self):
+        cm = CostModel()
+        assert cm.instruction_cost(bc._MAX_OP + 7) == cm.simple
+        assert cm.instruction_cost(-1) == cm.simple
+
+    def test_replace_and_scaled_rebuild_the_table(self):
+        import dataclasses
+
+        cm = dataclasses.replace(CostModel(), heap_access=11)
+        assert cm.instruction_cost(bc.GETFIELD) == 11
+        assert CostModel().scaled(3.0).instruction_cost(bc.NEW) == 60
+
+    def test_table_invisible_to_equality_and_hash(self):
+        a, b = CostModel(), CostModel()
+        assert a == b and hash(a) == hash(b)
+        assert "_cost_table" not in {
+            f.name for f in __import__("dataclasses").fields(CostModel)
+        }

@@ -150,3 +150,11 @@ class TestInspection:
         text = insp.disassemble_method("T", "run")
         assert "monitorenter" in text
         assert "savestate" in text  # the transformer ran (rollback mode)
+
+    def test_disassemble_decoded(self):
+        vm = counter_vm()
+        insp = Inspector(vm)
+        text = insp.disassemble_decoded("T", "run")
+        assert "T.run" in text
+        assert "block [" in text        # at least one fused block
+        assert "def _b" in text         # generated block source included

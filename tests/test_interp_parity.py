@@ -1,0 +1,241 @@
+"""Differential parity: the fast interpreter vs the reference oracle.
+
+The predecoded threaded-dispatch interpreter (:mod:`repro.vm.fastinterp`)
+must be *observationally indistinguishable* from the reference
+interpreter: identical virtual clock totals **and** clock event counts
+(every ``advance()`` call, even ``advance(0)``, is part of the
+determinism fingerprint), identical trace event streams, identical
+metrics, and identical checker fingerprints.  These tests run the same
+guest program once per interpreter and compare all of it.
+
+Two process-global counters would otherwise poison the comparison — they
+are build/run ordinal counters, not interpreter state:
+
+* ``Asm._sync_counter`` numbers monitor sync ids at *assembly* time, so
+  building the same workload twice in one process yields different sync
+  ids baked into the bytecode;
+* ``repro.core.sections._section_ids`` numbers critical sections at *run*
+  time across all VMs in the process.
+
+``_fresh()`` resets both before every build+run so the two interpreters
+see byte-identical programs and emit byte-identical section names.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.bench.harness import run_microbench
+from repro.bench.microbench import MicrobenchConfig
+from repro.bench.workloads import (
+    build_bank,
+    build_bounded_buffer,
+    build_deadlock_pair,
+    build_medium_inversion,
+    build_philosophers,
+)
+from repro.check.oracle import final_fingerprint, fingerprint_digest
+from repro.check.scenarios import scenarios
+from repro.core import sections
+from repro.errors import DeadlockError, UncaughtGuestException
+from repro.vm.assembler import Asm
+from repro.vm.vmcore import JVM, VMOptions
+
+MODES = ("unmodified", "rollback", "inheritance", "ceiling")
+INTERPS = ("reference", "fast")
+
+
+def _fresh() -> None:
+    """Reset the process-global build/run counters (see module docstring)."""
+    Asm._sync_counter = 0
+    sections._section_ids = itertools.count(1)
+
+
+def _snap(vm: JVM, outcome: str) -> dict:
+    """Everything an interpreter can observably influence, in one dict."""
+    return {
+        "outcome": outcome,
+        "clock_now": vm.clock.now,
+        "clock_events": vm.clock.events,
+        "fingerprint": fingerprint_digest(final_fingerprint(vm, outcome)),
+        "metrics": vm.metrics(),
+        "trace": list(vm.tracer.events),
+    }
+
+
+def _run_workload(build, mode: str, interp: str, **overrides) -> dict:
+    _fresh()
+    workload = build()
+    opts = dict(
+        mode=mode, interp=interp, trace=True, seed=7,
+        max_cycles=50_000_000,
+    )
+    opts.update(overrides)
+    vm = JVM(VMOptions(**opts))
+    workload.install(vm)
+    outcome = "ok"
+    try:
+        vm.run()
+    except DeadlockError:
+        outcome = "deadlock"
+    except UncaughtGuestException as exc:
+        outcome = f"uncaught:{exc}"
+    return _snap(vm, outcome)
+
+
+def _assert_identical(build, mode: str, **overrides) -> None:
+    ref = _run_workload(build, mode, "reference", **overrides)
+    fast = _run_workload(build, mode, "fast", **overrides)
+    # Compare field by field so a failure names the diverging channel.
+    for key in ref:
+        assert fast[key] == ref[key], f"{mode}: {key} diverged"
+
+
+# ------------------------------------------------------- checker scenarios
+@pytest.mark.parametrize("mode", MODES)
+@pytest.mark.parametrize("name", sorted(scenarios()))
+def test_checker_scenario_parity(name: str, mode: str) -> None:
+    scenario = scenarios()[name]
+    _assert_identical(scenario.build, mode, **scenario.options)
+
+
+# ------------------------------------------- one figure workload per policy
+# Pair each policy mode with a different workload so the suite covers
+# the product cheaply: revocation (rollback), priority donation
+# (inheritance), eager boosting (ceiling), plain scheduling (unmodified),
+# each over a distinct synchronization shape.
+POLICY_WORKLOADS = [
+    ("unmodified", lambda: build_bounded_buffer(
+        capacity=2, items_per_producer=6, producers=2, consumers=2)),
+    ("rollback", lambda: build_medium_inversion(
+        medium_threads=2, low_section_iters=300, medium_work_iters=500,
+        high_section_iters=60)),
+    ("inheritance", lambda: build_bank(
+        accounts=4, transfers=10, hold_cycles=120)),
+    ("ceiling", lambda: build_philosophers(3, rounds=3, think_cycles=300,
+                                           eat_iters=15)),
+]
+
+
+@pytest.mark.parametrize(
+    "mode,build", POLICY_WORKLOADS, ids=[m for m, _ in POLICY_WORKLOADS]
+)
+def test_policy_workload_parity(mode: str, build) -> None:
+    _assert_identical(build, mode)
+
+
+def test_deadlock_outcome_parity() -> None:
+    """Both interpreters must deadlock identically (or revoke out of it)."""
+    for mode in ("unmodified", "rollback"):
+        _assert_identical(
+            lambda: build_deadlock_pair(hold_cycles=800, work=20), mode
+        )
+
+
+# ------------------------------------------------------ figure micro-bench
+@pytest.mark.parametrize("mode", MODES)
+def test_microbench_parity(mode: str) -> None:
+    """One scaled-down figure point per policy through the real harness."""
+    config = MicrobenchConfig(
+        high_threads=2, low_threads=2, iters_high=25, iters_low=50,
+        sections=4, write_pct=60, pause_mean=2_000, seed=42,
+    )
+    results = {}
+    for interp in INTERPS:
+        _fresh()
+        results[interp] = run_microbench(
+            config, mode, options=VMOptions(interp=interp)
+        )
+    assert results["fast"] == results["reference"]
+
+
+# --------------------------------------------------- exception-path parity
+# Faults raised from *inside* a fused block exercise the cost-repair path
+# (suffix subtraction + fault-pc rewind); the outcomes, handler-relative
+# clock values and traces must match the reference exactly.
+def _exception_workloads():
+    from conftest import build_class
+
+    def guest(emit) -> object:
+        def build():
+            a = Asm("main")
+            emit(a)
+            a.ret()
+            cls = build_class("Exc", ["out", "err"], [a])
+
+            from repro.bench.workloads import Workload
+
+            return Workload(
+                name="exc", classdef=cls, setup=lambda vm: None,
+                spawns=[("main", [], 5, "t0")],
+            )
+        return build
+
+    def div_zero(a: Asm) -> None:
+        # caught ArithmeticException after fused arithmetic ran
+        def body():
+            a.const(7).const(21).const(3).div().add()
+            a.const(5).const(0).div()          # faults mid-block
+            a.putstatic("Exc", "out")
+        def on_arith():
+            a.pop()
+            a.const(-1).putstatic("Exc", "err")
+        a.try_(body, catches=[("ArithmeticException", on_arith)])
+        a.getstatic("Exc", "err").putstatic("Exc", "out")
+
+    def array_oob(a: Asm) -> None:
+        def body():
+            a.const(4).newarray(0)
+            a.const(9).const(2).astore()        # index 9 > length: faults
+        def on_oob():
+            a.pop()
+            a.const(13).putstatic("Exc", "err")
+        a.try_(body, catches=[("ArrayIndexOutOfBoundsException", on_oob)])
+
+    def npe(a: Asm) -> None:
+        def body():
+            a.const(None).getfield("x")         # NPE inside a fused block
+            a.putstatic("Exc", "out")
+        def on_npe():
+            a.pop()
+            a.const(99).putstatic("Exc", "err")
+        a.try_(body, catches=[("NullPointerException", on_npe)])
+
+    def uncaught(a: Asm) -> None:
+        a.const(3).const(1).sub()
+        a.const(1).const(0).mod()               # uncaught: kills the thread
+
+    return [
+        ("div-zero", guest(div_zero)),
+        ("array-oob", guest(array_oob)),
+        ("npe", guest(npe)),
+        ("uncaught", guest(uncaught)),
+    ]
+
+
+@pytest.mark.parametrize(
+    "name,build_factory", _exception_workloads(),
+    ids=[n for n, _ in _exception_workloads()],
+)
+@pytest.mark.parametrize("mode", ("unmodified", "rollback"))
+def test_exception_path_parity(name, build_factory, mode) -> None:
+    _assert_identical(build_factory, mode)
+
+
+# ----------------------------------------------------- reference forcing
+def test_trace_memory_forces_reference() -> None:
+    """The lockset pass needs per-access events, which fused heap ops do
+    not emit; ``effective_interp`` must fall back to the reference."""
+    opts = VMOptions(trace=True, trace_memory=True)
+    assert opts.interp == "fast"
+    assert opts.effective_interp == "reference"
+
+    from repro.vm.fastinterp import FastInterpreter
+    from repro.vm.interpreter import Interpreter
+
+    vm = JVM(opts)
+    assert type(vm.interpreter) is Interpreter
+    vm2 = JVM(VMOptions(trace=True))
+    assert type(vm2.interpreter) is FastInterpreter
