@@ -7,7 +7,10 @@ The package provides:
 * the paper's revocable-synchronized-sections runtime and bytecode
   transformer (:mod:`repro.core`),
 * the evaluation harness regenerating the paper's Figures 5–8
-  (:mod:`repro.bench`).
+  (:mod:`repro.bench`),
+* a deterministic observability plane — causal spans, an exact
+  virtual-cycle profiler and Perfetto-openable trace export
+  (:mod:`repro.obs`, CLI ``python -m repro.obs``).
 
 Quickstart::
 

@@ -79,6 +79,35 @@ def _host_perf(args) -> int:
     return 0
 
 
+def _observe_panel(panel: FigurePanel, args, engine: RunEngine) -> None:
+    """``--profile``/``--trace-out``: observability capture of the
+    panel's rollback cell, cached through the same run engine."""
+    from repro.obs.capture import ObsSpec, capture_with_engine
+    from repro.obs.export import render_profile_dict
+
+    spec = ObsSpec(
+        scenario=f"fig{panel.figure}{panel.panel}",
+        mode="rollback",
+        seed=args.seed,
+    )
+    artifact = capture_with_engine(spec, engine=engine)
+    tag = f"[{panel.figure}{panel.panel}]"
+    if args.profile:
+        profile = render_profile_dict(
+            artifact["profile"], artifact["clock"]
+        )
+        print(f"{tag} cycle profile (mode=rollback):", file=sys.stderr)
+        print(profile, file=sys.stderr)
+    if args.trace_out:
+        with open(args.trace_out, "w", encoding="utf-8") as fh:
+            fh.write(artifact["chrome_json"])
+        print(
+            f"{tag} chrome trace written to {args.trace_out} "
+            "(open at https://ui.perfetto.dev)",
+            file=sys.stderr,
+        )
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.bench",
@@ -125,6 +154,17 @@ def main(argv: list[str] | None = None) -> int:
         help="result cache location (default REPRO_BENCH_CACHE_DIR or "
              ".repro-bench-cache)",
     )
+    parser.add_argument(
+        "--profile", action="store_true",
+        help="after the panel report, print a cycle profile of the "
+             "panel's rollback cell (see repro.obs) to stderr",
+    )
+    parser.add_argument(
+        "--trace-out", metavar="PATH", default=None,
+        help="export a Perfetto-openable Chrome trace of the panel's "
+             "rollback cell to PATH (implies an obs capture; cached "
+             "through the same engine as the benchmark runs)",
+    )
     args = parser.parse_args(argv)
 
     if args.host_perf:
@@ -146,6 +186,8 @@ def main(argv: list[str] | None = None) -> int:
         all_panels() if args.panel == "all"
         else [_parse_panel(args.panel)]
     )
+    if (args.profile or args.trace_out) and len(panels) > 1:
+        parser.error("--profile/--trace-out need a single panel, not 'all'")
     for panel in panels:
         result = run_panel(
             panel, repetitions=args.reps, seed=args.seed, engine=engine
@@ -162,6 +204,8 @@ def main(argv: list[str] | None = None) -> int:
         if args.csv:
             write_csv(result, args.csv)
             print(f"series written to {args.csv}", file=sys.stderr)
+        if args.profile or args.trace_out:
+            _observe_panel(panel, args, engine)
     if len(panels) > 1:
         print(f"[total] {engine.stats.render()}", file=sys.stderr)
     return 0

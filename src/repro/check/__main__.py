@@ -75,6 +75,17 @@ def _parser() -> argparse.ArgumentParser:
         help="replay a serialized counterexample instead of exploring",
     )
     parser.add_argument(
+        "--trace-out", default=None, metavar="PATH",
+        help="with --replay: also re-run the minimized schedule with "
+             "tracing/profiling on and write a Perfetto-openable Chrome "
+             "trace to PATH (see repro.obs)",
+    )
+    parser.add_argument(
+        "--trace-mode", default=None, metavar="MODE",
+        help="policy to trace with --trace-out (default: the "
+             "counterexample's reference mode)",
+    )
+    parser.add_argument(
         "--lockset", default=None, metavar="TARGET",
         help="run the Eraser-style lockset pass over TARGET (a scenario "
              "name, or 'fig5' for the micro-benchmark) instead of "
@@ -106,7 +117,11 @@ def _cmd_list() -> int:
     return 0
 
 
-def _cmd_replay(path: str) -> int:
+def _cmd_replay(
+    path: str,
+    trace_out: str | None = None,
+    trace_mode: str | None = None,
+) -> int:
     with open(path, "r", encoding="utf-8") as fh:
         payload = json.load(fh)
     verdict = replay_counterexample(payload)
@@ -118,6 +133,17 @@ def _cmd_replay(path: str) -> int:
               f"digest={result['digests'][mode]}")
     for problem in result["problems"]:
         print(f"  problem: {problem}")
+    if trace_out is not None:
+        from repro.obs.capture import capture_replay
+
+        artifact = capture_replay(payload, mode=trace_mode)
+        with open(trace_out, "w", encoding="utf-8") as fh:
+            fh.write(artifact["chrome_json"])
+        print(
+            f"chrome trace of the {artifact['mode']} replay written to "
+            f"{trace_out} (open at https://ui.perfetto.dev)",
+            file=sys.stderr,
+        )
     if verdict["reproduced"]:
         print("divergence reproduced")
         return 0
@@ -150,7 +176,7 @@ def main(argv: list[str] | None = None) -> int:
     if args.list:
         return _cmd_list()
     if args.replay is not None:
-        return _cmd_replay(args.replay)
+        return _cmd_replay(args.replay, args.trace_out, args.trace_mode)
     if args.lockset is not None:
         return _cmd_lockset(args.lockset)
 

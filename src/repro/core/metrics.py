@@ -50,3 +50,37 @@ class SupportMetrics:
 
     def as_dict(self) -> dict[str, int]:
         return asdict(self)
+
+
+def metrics_health(metrics: dict) -> list[str]:
+    """Trust warnings for a ``JVM.metrics()`` snapshot.
+
+    Returns human-readable strings for every way the run's telemetry is
+    incomplete or suspect: a truncated trace ring (spans and exports
+    were built from a partial event stream), tracer sinks that raised
+    and were detached mid-run, and post-rollback invariant violations.
+    Empty list == the snapshot can be trusted wholesale.
+    """
+    warnings: list[str] = []
+    trace = metrics.get("trace", {})
+    dropped = trace.get("dropped", 0)
+    if dropped:
+        warnings.append(
+            f"trace TRUNCATED: {dropped} event(s) dropped past the "
+            "tracer capacity — downstream artifacts are built from an "
+            "INCOMPLETE event stream"
+        )
+    sink_errors = trace.get("sink_errors", 0)
+    if sink_errors:
+        warnings.append(
+            f"{sink_errors} tracer sink(s) raised and were detached "
+            "mid-run — external span/export consumers saw a partial "
+            "stream"
+        )
+    violations = metrics.get("support", {}).get("invariant_violations", 0)
+    if violations:
+        warnings.append(
+            f"{violations} post-rollback invariant violation(s) — "
+            "rollback left guest state inconsistent"
+        )
+    return warnings

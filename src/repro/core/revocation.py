@@ -297,7 +297,7 @@ class RollbackSupport(RuntimeSupport):
             audit.after_rollback(thread, target, log, expectation)
         cm = self.vm.cost_model
         cost = cm.rollback_base + cm.rollback_entry * restored
-        self.vm.charge(thread, cost)
+        self.vm.charge(thread, cost, kind="rollback")
         m = self.metrics
         m.undo_entries_restored += restored
         m.rollback_cycles += cost

@@ -1,0 +1,258 @@
+"""Command-line observability: ``python -m repro.obs``.
+
+Examples::
+
+    python -m repro.obs --list                         # scenario names
+    python -m repro.obs spans   --scenario handoff
+    python -m repro.obs profile --scenario fig6b --top 15
+    python -m repro.obs export  --scenario fig5a --fmt chrome -o t.json
+    python -m repro.obs export  --scenario fig6b --fmt folded -o t.folded
+    python -m repro.obs summary --scenario medium-inversion
+
+Every subcommand runs its scenario through the same capture pipeline
+(:mod:`repro.obs.capture`), fanned through the bench
+:class:`~repro.bench.parallel.RunEngine` — captures are cached on disk
+by content address, so re-rendering a different view of the same run is
+a cache hit, not a re-execution.  Stdout is a pure function of the
+arguments; engine statistics go to stderr.
+
+Exported Chrome traces open directly in https://ui.perfetto.dev or
+chrome://tracing; virtual cycles appear as microseconds.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.obs.capture import ObsSpec, capture_with_engine
+from repro.obs.scenarios import scenarios
+
+
+def _parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="deterministic observability: spans, cycle profiles "
+                    "and Perfetto-openable trace exports",
+    )
+    parser.add_argument(
+        "command", nargs="?", default=None,
+        choices=["spans", "profile", "export", "summary"],
+        help="what to render from the captured run",
+    )
+    parser.add_argument(
+        "--scenario", default=None,
+        help="scenario / figure cell / workload name (see --list)",
+    )
+    parser.add_argument(
+        "--mode", default="rollback",
+        choices=["unmodified", "rollback", "inheritance", "ceiling"],
+        help="VM policy mode (default rollback)",
+    )
+    parser.add_argument("--seed", type=int, default=0x5EED)
+    parser.add_argument(
+        "--interp", default="fast", choices=["fast", "reference"],
+        help="interpreter engine (artifacts are identical either way)",
+    )
+    parser.add_argument(
+        "--write-pct", type=int, default=60,
+        help="write ratio for figure-cell scenarios (default 60)",
+    )
+    parser.add_argument(
+        "--no-profile", action="store_true",
+        help="skip the cycle profiler (spans/exports only)",
+    )
+    parser.add_argument(
+        "--fmt", default="chrome", choices=["chrome", "jsonl", "folded"],
+        help="export format (export subcommand; default chrome)",
+    )
+    parser.add_argument(
+        "-o", "--out", default=None, metavar="PATH",
+        help="output path (export subcommand; default derived)",
+    )
+    parser.add_argument(
+        "--top", type=int, default=20,
+        help="rows in the profile table (default 20)",
+    )
+    parser.add_argument(
+        "--limit", type=int, default=0,
+        help="max spans to print (spans subcommand; 0 = all)",
+    )
+    parser.add_argument(
+        "--json", action="store_true",
+        help="print machine-readable JSON instead of tables",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=None,
+        help="worker processes (default REPRO_BENCH_JOBS; 1 = serial)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="skip the on-disk capture cache for this invocation",
+    )
+    parser.add_argument(
+        "--list", action="store_true",
+        help="list scenario names and exit",
+    )
+    return parser
+
+
+def _engine(args):
+    from repro.bench.parallel import RunEngine
+
+    engine = RunEngine.from_env()
+    if args.jobs is not None:
+        engine = RunEngine(jobs=max(1, args.jobs), cache=engine.cache)
+    if args.no_cache:
+        engine = RunEngine(jobs=engine.jobs, cache=None)
+    return engine
+
+
+def _cmd_list() -> int:
+    for name, scenario in sorted(scenarios().items()):
+        print(f"{name}: {scenario.description}")
+    return 0
+
+
+def _warn_truncation(artifact: dict) -> None:
+    """A truncated trace silently lies — make it loud."""
+    from repro.core.metrics import metrics_health
+
+    for warning in metrics_health(artifact["metrics"]):
+        print(
+            "=" * 72 + f"\nWARNING: {warning}\n" + "=" * 72,
+            file=sys.stderr,
+        )
+    summary = artifact["summary"]
+    if summary.get("counter_samples_dropped"):
+        print(
+            f"note: {summary['counter_samples_dropped']} counter "
+            "sample(s) beyond the per-track budget were dropped.",
+            file=sys.stderr,
+        )
+
+
+def _capture(args) -> dict:
+    spec = ObsSpec(
+        scenario=args.scenario,
+        mode=args.mode,
+        seed=args.seed,
+        interp=args.interp,
+        profile=not args.no_profile,
+        write_pct=args.write_pct,
+    )
+    engine = _engine(args)
+    artifact = capture_with_engine(spec, engine=engine)
+    print(engine.stats.render(), file=sys.stderr)
+    _warn_truncation(artifact)
+    return artifact
+
+
+def _cmd_spans(args, artifact: dict) -> int:
+    if args.json:
+        sys.stdout.write(artifact["spans_jsonl"])
+        return 0
+    from repro.obs.export import render_spans
+    from repro.obs.spans import Span
+
+    spans = [
+        Span(**{k: obj[k] for k in
+                ("sid", "kind", "thread", "start", "end", "parent",
+                 "attrs")})
+        for obj in map(json.loads,
+                       artifact["spans_jsonl"].splitlines()[1:])
+    ]
+    print(render_spans(spans, limit=args.limit))
+    return 0
+
+
+def _cmd_profile(args, artifact: dict) -> int:
+    profile = artifact["profile"]
+    if profile is None:
+        print("profile disabled (--no-profile); nothing to show",
+              file=sys.stderr)
+        return 1
+    if args.json:
+        print(json.dumps(profile, indent=2))
+        return 0
+    from repro.obs.export import render_profile_dict
+
+    print(render_profile_dict(profile, artifact["clock"], top=args.top))
+    return 0
+
+
+def _cmd_export(args, artifact: dict) -> int:
+    fmt = args.fmt
+    content = {
+        "chrome": artifact["chrome_json"],
+        "jsonl": artifact["spans_jsonl"],
+        "folded": artifact["folded"],
+    }[fmt]
+    if fmt == "folded" and not content:
+        print("no folded stacks: run without --no-profile",
+              file=sys.stderr)
+        return 1
+    suffix = {"chrome": "trace.json", "jsonl": "spans.jsonl",
+              "folded": "folded"}[fmt]
+    out = args.out or f"{args.scenario}-{args.mode}.{suffix}"
+    with open(out, "w", encoding="utf-8") as fh:
+        fh.write(content)
+    print(f"{fmt} artifact written to {out}", file=sys.stderr)
+    if fmt == "chrome":
+        print(
+            "open it at https://ui.perfetto.dev (or chrome://tracing); "
+            "virtual cycles display as microseconds",
+            file=sys.stderr,
+        )
+    print(out)
+    return 0
+
+
+def _cmd_summary(args, artifact: dict) -> int:
+    summary = artifact["summary"]
+    if args.json:
+        print(json.dumps(summary, indent=2))
+        return 0
+    print(f"scenario {summary['scenario']} mode={summary['mode']} "
+          f"interp={summary['interp']} seed={summary['seed']}")
+    print(f"outcome {summary['outcome']} after {summary['clock']} "
+          f"virtual cycles, {summary['threads']} threads, "
+          f"{summary['context_switches']} context switches, "
+          f"{summary['revocations']} revocations")
+    kinds = ", ".join(
+        f"{kind}={count}"
+        for kind, count in summary["spans_by_kind"].items()
+    )
+    print(f"spans: {summary['spans']} ({kinds})")
+    trace = summary["trace"]
+    print(f"trace: {trace['events']} events, {trace['dropped']} dropped, "
+          f"{trace['sink_errors']} sink errors")
+    if summary["cycles_by_track"] is not None:
+        print("cycles by track:")
+        for track, cats in summary["cycles_by_track"].items():
+            detail = ", ".join(f"{k}={v}" for k, v in cats.items())
+            print(f"  {track:<14} {sum(cats.values()):>12}  ({detail})")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _parser().parse_args(argv)
+    if args.list:
+        return _cmd_list()
+    if args.command is None:
+        _parser().error("a subcommand (spans/profile/export/summary) "
+                        "or --list is required")
+    if args.scenario is None:
+        _parser().error("--scenario is required")
+    artifact = _capture(args)
+    return {
+        "spans": _cmd_spans,
+        "profile": _cmd_profile,
+        "export": _cmd_export,
+        "summary": _cmd_summary,
+    }[args.command](args, artifact)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

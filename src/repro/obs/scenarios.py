@@ -1,0 +1,147 @@
+"""The observability scenario registry.
+
+One name space for everything ``python -m repro.obs`` can run: the
+figure cells (``fig5a`` .. ``fig8c``, the paper's §4 micro-benchmark at
+each panel's thread mix), the schedule-checker scenarios (``handoff``,
+``barge``, ``racy-yield``, ``lock-order``) and the standalone workloads
+(``deadlock-pair``, ``medium-inversion``, ``bank``, ``bounded-buffer``,
+``philosophers``).
+
+Each entry knows how to *install* itself into a freshly-built VM and
+which :class:`VMOptions` overrides it requires; the capture layer owns
+VM construction so tracing/profiling wiring is uniform.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING, Callable
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.vm.vmcore import JVM
+
+
+@dataclass(frozen=True)
+class ObsScenario:
+    """One runnable target: a description, VMOptions overrides, and an
+    installer called with the constructed VM."""
+
+    name: str
+    description: str
+    #: VMOptions keyword overrides this scenario requires
+    options: dict
+    #: install(vm, seed, write_pct): load classes + spawn threads
+    install: Callable[["JVM", int, int], None]
+
+
+def _fig_installer(figure: int, panel: str):
+    def install(vm: "JVM", seed: int, write_pct: int) -> None:
+        from repro.bench.figures import FigurePanel
+        from repro.bench.microbench import setup_microbench_vm
+
+        config = FigurePanel(figure, panel).base_config(seed)
+        config = replace(config, write_pct=write_pct)
+        setup_microbench_vm(vm, config)
+
+    return install
+
+
+def _check_installer(name: str):
+    def install(vm: "JVM", seed: int, write_pct: int) -> None:
+        from repro.check.scenarios import get_scenario
+
+        get_scenario(name).build().install(vm)
+
+    return install
+
+
+def _workload_installer(build: Callable):
+    def install(vm: "JVM", seed: int, write_pct: int) -> None:
+        build().install(vm)
+
+    return install
+
+
+def _workload_builders() -> dict[str, tuple[str, Callable]]:
+    from repro.bench.workloads import (
+        build_bank,
+        build_bounded_buffer,
+        build_deadlock_pair,
+        build_medium_inversion,
+        build_philosophers,
+    )
+
+    return {
+        "deadlock-pair": (
+            "two threads acquiring two locks in opposite orders",
+            lambda: build_deadlock_pair(hold_cycles=800, work=20),
+        ),
+        "medium-inversion": (
+            "the paper's three-priority inversion shape",
+            lambda: build_medium_inversion(
+                medium_threads=2, low_section_iters=300,
+                medium_work_iters=500, high_section_iters=60,
+            ),
+        ),
+        "bank": (
+            "random transfers between locked accounts",
+            lambda: build_bank(accounts=4, transfers=10, hold_cycles=120),
+        ),
+        "bounded-buffer": (
+            "producers/consumers on a wait/notify bounded buffer",
+            lambda: build_bounded_buffer(
+                capacity=2, items_per_producer=6, producers=2, consumers=2
+            ),
+        ),
+        "philosophers": (
+            "dining philosophers over shared fork monitors",
+            lambda: build_philosophers(
+                3, rounds=3, think_cycles=300, eat_iters=15
+            ),
+        ),
+    }
+
+
+def scenarios() -> dict[str, ObsScenario]:
+    """Name -> scenario, rebuilt per call (cheap; avoids import cycles)."""
+    out: dict[str, ObsScenario] = {}
+    for figure in (5, 6, 7, 8):
+        for panel in ("a", "b", "c"):
+            name = f"fig{figure}{panel}"
+            out[name] = ObsScenario(
+                name=name,
+                description=(
+                    f"figure {figure}({panel}) micro-benchmark cell "
+                    "(write ratio via --write-pct)"
+                ),
+                options={},
+                install=_fig_installer(figure, panel),
+            )
+    from repro.check.scenarios import scenarios as check_scenarios
+
+    for name, scenario in check_scenarios().items():
+        out[name] = ObsScenario(
+            name=name,
+            description=f"checker scenario: {scenario.description}",
+            options=dict(scenario.options),
+            install=_check_installer(name),
+        )
+    for name, (description, build) in _workload_builders().items():
+        out[name] = ObsScenario(
+            name=name,
+            description=f"workload: {description}",
+            options={},
+            install=_workload_installer(build),
+        )
+    return out
+
+
+def get_scenario(name: str) -> ObsScenario:
+    table = scenarios()
+    try:
+        return table[name]
+    except KeyError:
+        known = ", ".join(sorted(table))
+        raise KeyError(
+            f"unknown obs scenario {name!r}; known: {known}"
+        ) from None

@@ -110,19 +110,30 @@ class VirtualClock:
 
     now: int = 0
     _events: int = field(default=0, repr=False)
+    #: optional observer called with every advance delta (the virtual-cycle
+    #: profiler).  Because *every* cycle passes through here, an attached
+    #: listener's per-track attribution sums to ``now`` exactly, by
+    #: construction.  Excluded from equality/repr: it is instrumentation,
+    #: not clock state.
+    listener: object = field(default=None, repr=False, compare=False)
 
     def advance(self, cycles: int) -> int:
         if cycles < 0:
             raise ValueError("cannot advance the clock backwards")
         self.now += cycles
         self._events += 1
+        if self.listener is not None:
+            self.listener(cycles)
         return self.now
 
     def advance_to(self, time: int) -> int:
         """Jump forward to ``time`` (used when all threads are asleep)."""
         if time > self.now:
+            delta = time - self.now
             self.now = time
             self._events += 1
+            if self.listener is not None:
+                self.listener(delta)
         return self.now
 
     @property

@@ -78,6 +78,7 @@ class FastInterpreter(Interpreter):
         trace_mem = self._trace_mem
         max_cycles = vm.options.max_cycles
         faults = vm.fault_plane
+        profiler = vm.profiler
         F = [0]  # fault cell: pc of the op a block was executing when it raised
         A = [0]  # dynamic-cost cell: barrier cycles accrued inside a block
 
@@ -93,6 +94,8 @@ class FastInterpreter(Interpreter):
 
             def flush() -> None:
                 nonlocal acc, icount
+                if profiler is not None and (acc or icount):
+                    profiler.on_flush(thread, frame, acc, icount)
                 clock.advance(acc)
                 thread.cycles_executed += acc
                 thread.quantum_used += acc
@@ -133,6 +136,8 @@ class FastInterpreter(Interpreter):
                         # inlined flush(): this is the hottest flush site
                         # (every loop back-edge) and closure/nonlocal
                         # overhead is measurable here
+                        if profiler is not None and (acc or icount):
+                            profiler.on_flush(thread, frame, acc, icount)
                         clock.advance(acc)
                         thread.cycles_executed += acc
                         thread.quantum_used += acc
@@ -510,6 +515,8 @@ class FastInterpreter(Interpreter):
                             if successor is not None:
                                 self._post_release(mon, successor)
                             acc2 = support.on_handoff(thread, mon, successor)
+                            if profiler is not None and acc2:
+                                profiler.on_flush(thread, frame, acc2, 0)
                             clock.advance(acc2)
                             if timed and timeout > 0:
                                 vm.scheduler.add_sleeper(

@@ -102,6 +102,7 @@ class Interpreter:
         trace_mem = self._trace_mem
         max_cycles = vm.options.max_cycles
         faults = vm.fault_plane
+        profiler = vm.profiler
 
         while True:  # outer loop: re-entered on frame switch / exceptions
             frame = thread.frames[-1]
@@ -114,6 +115,8 @@ class Interpreter:
 
             def flush() -> None:
                 nonlocal acc, icount
+                if profiler is not None and (acc or icount):
+                    profiler.on_flush(thread, frame, acc, icount)
                 clock.advance(acc)
                 thread.cycles_executed += acc
                 thread.quantum_used += acc
@@ -499,6 +502,8 @@ class Interpreter:
                             if successor is not None:
                                 self._post_release(mon, successor)
                             acc2 = support.on_handoff(thread, mon, successor)
+                            if profiler is not None and acc2:
+                                profiler.on_flush(thread, frame, acc2, 0)
                             clock.advance(acc2)
                             if timed and timeout > 0:
                                 vm.scheduler.add_sleeper(

@@ -212,14 +212,23 @@ class BaseScheduler:
             if self._resolve_stall():
                 return (None, "stall-resolved")
             return None
+        prof = vm.profiler
         if self._last is not None and self._last is not thread:
+            if prof is not None:
+                prof.set_context(thread.name, "switch")
             vm.clock.advance(vm.cost_model.context_switch)
             self.context_switches += 1
         self._last = thread
         vm.current_thread = thread
+        if prof is not None:
+            prof.set_context(thread.name, "guest")
         self.slices += 1
         reason = vm.interpreter.run_slice(thread)
         vm.current_thread = None
+        if prof is not None:
+            # "(vm)"/"vm" mirror repro.obs.profile.VM_TRACK/CAT_VM;
+            # literal here so the VM layer never imports the obs layer.
+            prof.set_context("(vm)", "vm")
         if reason is PREEMPTED or reason is YIELDED:
             self.make_ready(thread)
         vm.after_slice()
@@ -233,7 +242,12 @@ class BaseScheduler:
         wake = self._next_sleeper_time()
         if wake is None:
             return False
+        prof = self.vm.profiler
+        if prof is not None:
+            prof.set_context("(vm)", "idle")
         self.vm.clock.advance_to(wake)
+        if prof is not None:
+            prof.set_context("(vm)", "vm")
         self._wake_due_sleepers()
         return True
 

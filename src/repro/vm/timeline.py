@@ -25,10 +25,45 @@ Legend::
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Optional
+import shutil
+from typing import TYPE_CHECKING, Optional, Union
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.vm.vmcore import JVM
+
+#: never downsample below this many timeline columns
+MIN_COLUMNS = 10
+#: legacy column count, used when no budget applies
+LEGACY_WIDTH = 80
+
+
+def _resolve_width(
+    width: Optional[int],
+    max_width: Union[int, str, None],
+    name_width: int,
+    span: int,
+) -> int:
+    """Pick the timeline column count.
+
+    An explicit ``width`` wins and is used verbatim (legacy behaviour).
+    Otherwise ``max_width`` is a budget for the *whole* rendered line —
+    the name gutter, the two ``|`` rails and the cells — so output fits
+    a terminal: ``"auto"`` reads the current terminal width, an int is
+    used as-is, and ``None`` falls back to the legacy 80 columns.
+    Budgeted timelines are additionally capped at one column per cycle;
+    downsampling never goes below :data:`MIN_COLUMNS`.
+    """
+    if width is not None:
+        return width
+    if max_width is None:
+        return LEGACY_WIDTH
+    if max_width == "auto":
+        budget = shutil.get_terminal_size(fallback=(80, 24)).columns
+    else:
+        budget = int(max_width)
+    cells = budget - (name_width + 3)  # "name |cells|"
+    cells = min(cells, LEGACY_WIDTH, max(span, 1))
+    return max(MIN_COLUMNS, cells)
 
 
 def _intervals(events, start_kinds, end_kinds):
@@ -50,11 +85,19 @@ def _intervals(events, start_kinds, end_kinds):
 def render_timeline(
     vm: "JVM",
     *,
-    width: int = 80,
+    width: Optional[int] = None,
+    max_width: Union[int, str, None] = "auto",
     start: Optional[int] = None,
     end: Optional[int] = None,
 ) -> str:
-    """Render the run as one timeline row per thread."""
+    """Render the run as one timeline row per thread.
+
+    ``width`` pins the exact number of timeline cells (the pre-budget
+    behaviour).  When it is omitted, the row is downsampled to fit
+    ``max_width`` total columns — ``"auto"`` (the default) uses the
+    terminal width, an int sets the budget explicitly, and ``None``
+    restores the legacy fixed 80 cells.
+    """
     events = vm.tracer.events
     if not events:
         return "(no trace events — run the VM with VMOptions(trace=True))"
@@ -63,6 +106,10 @@ def render_timeline(
     if t1 <= t0:
         t1 = t0 + 1
     span = t1 - t0
+    name_budget = max(
+        (len(t.name) for t in vm.threads), default=4
+    )
+    width = _resolve_width(width, max_width, name_budget, span)
 
     def col(time: int) -> int:
         c = int((time - t0) * width / span)

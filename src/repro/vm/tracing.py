@@ -46,6 +46,9 @@ class Tracer:
         self.capacity = capacity
         self.events: list[TraceEvent] = []
         self.dropped = 0
+        #: sinks detached because they raised (observability must never
+        #: take down the run it is observing)
+        self.sink_errors = 0
         #: keep events in :attr:`events` (sinks still fire when False)
         self.store = True
         self._sinks: list = []
@@ -63,8 +66,21 @@ class Tracer:
         if not self.enabled:
             return
         event = TraceEvent(time, kind, thread_name, details)
-        for sink in self._sinks:
-            sink(event)
+        if self._sinks:
+            broken = None
+            for sink in self._sinks:
+                try:
+                    sink(event)
+                except Exception:
+                    # A faulty sink must not abort the VM run: detach it
+                    # and count the detachment so summaries can report it.
+                    if broken is None:
+                        broken = []
+                    broken.append(sink)
+            if broken:
+                for sink in broken:
+                    self._sinks.remove(sink)
+                self.sink_errors += len(broken)
         if not self.store:
             return
         if len(self.events) >= self.capacity:

@@ -140,6 +140,12 @@ class VMOptions:
     #: clocks, traces, schedules and fingerprints; the reference engine is
     #: auto-selected when ``trace_memory`` needs per-access events.
     interp: str = "fast"
+    #: attach the virtual-cycle profiler (:mod:`repro.obs.profile`):
+    #: per-track/per-method cycle attribution whose totals equal the final
+    #: virtual clock exactly.  Purely observational — a profiled run's
+    #: schedule, trace and fingerprint are byte-identical to an
+    #: unprofiled one.
+    profile: bool = False
 
     def __post_init__(self) -> None:
         if self.mode not in MODES:
@@ -198,6 +204,19 @@ class JVM:
         self.uncaught: list[tuple[VMThread, Any]] = []
         self.support: RuntimeSupport = _build_support(options)
         self.support.attach(self)
+        self.profiler = None
+        if options.profile:
+            # Imported here: repro.obs depends on repro.vm, not vice versa.
+            from repro.obs.profile import CycleProfiler, ProfilingSupport
+
+            self.profiler = CycleProfiler()
+            self.clock.listener = self.profiler
+            # Installed before the interpreter is constructed: it captures
+            # vm.support once, and the proxy must be what it sees.
+            self.support = ProfilingSupport(self.support, self.profiler)
+        #: post-slice observers called as ``hook(vm)`` after every slice
+        #: (counter-track samplers live here)
+        self.slice_hooks: list = []
         self.fault_plane = None
         if options.faults is not None:
             from repro.faults.plane import FaultPlane
@@ -361,11 +380,30 @@ class JVM:
                 )
         if self.fault_plane is not None:
             self.fault_plane.on_slice_end()
+        for hook in self.slice_hooks:
+            hook(self)
 
     # ------------------------------------------------------------- services
-    def charge(self, thread: Optional[VMThread], cycles: int) -> None:
-        """Advance virtual time for runtime work done on a thread's behalf."""
-        self.clock.advance(cycles)
+    def charge(
+        self,
+        thread: Optional[VMThread],
+        cycles: int,
+        kind: Optional[str] = None,
+    ) -> None:
+        """Advance virtual time for runtime work done on a thread's behalf.
+
+        ``kind`` labels the cycles for the profiler (e.g. ``"rollback"``
+        for undo-log restores); unlabeled charges inherit the current
+        scheduling context's category.
+        """
+        prof = self.profiler
+        if prof is not None and kind is not None:
+            prev = prof.push_category(kind)
+            self.clock.advance(cycles)
+            prof.pop_category(prev)
+            prof.note_mechanism(thread, kind, cycles)
+        else:
+            self.clock.advance(cycles)
         if thread is not None:
             thread.cycles_executed += cycles
             thread.quantum_used += cycles
@@ -445,6 +483,11 @@ class JVM:
             "slices": self.scheduler.slices,
             "threads": per_thread,
             "support": support_metrics,
+            "trace": {
+                "events": len(self.tracer.events),
+                "dropped": self.tracer.dropped,
+                "sink_errors": self.tracer.sink_errors,
+            },
         }
 
     def all_terminated(self) -> bool:

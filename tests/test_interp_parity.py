@@ -55,6 +55,20 @@ def _fresh() -> None:
 
 def _snap(vm: JVM, outcome: str) -> dict:
     """Everything an interpreter can observably influence, in one dict."""
+    import hashlib
+
+    from repro.obs.export import chrome_trace_bytes, spans_jsonl_bytes
+    from repro.obs.spans import build_spans
+
+    # observability artifacts are derived from the trace + clock, so
+    # they too must be byte-identical across interpreters
+    spans = build_spans(vm.tracer.events, vm.clock.now)
+    jsonl = spans_jsonl_bytes(spans)
+    chrome = chrome_trace_bytes(
+        spans,
+        thread_names=[t.name for t in vm.threads],
+        clock_now=vm.clock.now,
+    )
     return {
         "outcome": outcome,
         "clock_now": vm.clock.now,
@@ -62,6 +76,8 @@ def _snap(vm: JVM, outcome: str) -> dict:
         "fingerprint": fingerprint_digest(final_fingerprint(vm, outcome)),
         "metrics": vm.metrics(),
         "trace": list(vm.tracer.events),
+        "spans_sha": hashlib.sha256(jsonl).hexdigest(),
+        "chrome_sha": hashlib.sha256(chrome).hexdigest(),
     }
 
 
