@@ -40,6 +40,7 @@ class SupportMetrics:
     # robustness plane: retry budget / backoff / degradation ladder
     revocations_denied_degraded: int = 0
     backoff_windows_granted: int = 0
+    retry_budget_exhausted: int = 0
     degradations_to_inheritance: int = 0
     degradations_to_nonrevocable: int = 0
     starvations_detected: int = 0

@@ -332,6 +332,7 @@ class RollbackSupport(RuntimeSupport):
             )
         budget = opts.revocation_retry_budget
         if budget and site.attempts >= budget:
+            m.retry_budget_exhausted += 1
             self._degrade(thread, site, reason="budget")
         self.vm.trace(
             "rollback_begin", thread, section=repr(target),
@@ -504,6 +505,42 @@ class RollbackSupport(RuntimeSupport):
             reason=reason,
         )
         return new_level
+
+    def iter_sites(self) -> list[SectionSite]:
+        """All section sites in a deterministic order (tid, sync_id)."""
+        return [
+            self._sites[key]
+            for key in sorted(self._sites, key=lambda k: (k[0], str(k[1])))
+        ]
+
+    def escalate_hottest_site(
+        self, *, reason: str = "abort-storm"
+    ) -> Optional[str]:
+        """Demote the most-revoked still-demotable site one ladder rung.
+
+        The overload plane (:mod:`repro.server.plane`) calls this when its
+        abort-storm detector trips: instead of letting a storm keep
+        throwing away work, the hottest site falls back to priority
+        inheritance (and, on a repeat offence, to non-revocability).
+        Ties break deterministically on (tid, sync_id).  Returns the new
+        ladder level, or None when no site is demotable.
+        """
+        best: Optional[SectionSite] = None
+        best_key = None
+        for (tid, sync_id), site in self._sites.items():
+            if site.level == LADDER_NONREVOCABLE:
+                continue
+            key = (-site.total_revocations, tid, str(sync_id))
+            if best_key is None or key < best_key:
+                best, best_key = site, key
+        if best is None:
+            return None
+        thread = next(
+            (t for t in self.vm.threads if t.tid == best.tid), None
+        )
+        if thread is None:
+            return None
+        return self._degrade(thread, best, reason=reason)
 
     def on_starvation(self, thread: "VMThread") -> bool:
         self.metrics.starvations_detected += 1

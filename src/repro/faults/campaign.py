@@ -140,6 +140,60 @@ def _check_nothing(vm: JVM) -> list[str]:
 
 
 # -------------------------------------------------------------- scenarios
+#: the server-chaos scenario's arrival-stream seed.  Fixed (not the VM
+#: sweep seed) so the invariant check can recompute the expected service
+#: demand of every completed write transaction from the config alone.
+SERVER_STREAM_SEED = 0x5EED
+
+
+def _server_chaos_scenario() -> Scenario:
+    """Open-system server under a chaos plan: retries, shedding, abort
+    storms and the degradation ladder all engage while the auditor and
+    :func:`repro.server.plane.check_server_invariants` watch."""
+    from repro.obs.capture import _reset_build_counters
+    from repro.server.plane import server_invariant_check
+    from repro.server.workload import ServerConfig, TierSpec, build_server
+
+    config = ServerConfig(
+        name="campaign-server",
+        tiers=(
+            TierSpec(
+                "gold", priority=8, requests=40, mean_gap=1_000,
+                arrival="bursty", workers=2, write_pct=80, svc_iters=30,
+                timeout=12_000, max_retries=2, backoff=800, jitter=400,
+                shed_depth=10,
+            ),
+            TierSpec(
+                "bronze", priority=3, requests=30, mean_gap=1_400,
+                arrival="heavy", workers=2, write_pct=80, svc_iters=40,
+                heavy_service=True, timeout=16_000, max_retries=2,
+                backoff=1_000, jitter=500, shed_depth=8,
+            ),
+        ),
+        locks=2, cells=8, hot_lock_pct=80,
+        storm_window=12_000, storm_enter=5, storm_exit=1,
+    )
+
+    def build() -> Workload:
+        # sync/section ordinals are process-global; reset them so the
+        # cell is identical whether it runs first or fifth in a worker
+        _reset_build_counters()
+        return build_server(config, SERVER_STREAM_SEED)
+
+    return Scenario(
+        name="server-chaos",
+        build=build,
+        plan=FaultPlan(
+            revocation_storm_rate=0.15,
+            handoff_delay_rate=0.05,
+            handoff_delay_cycles=1_200,
+            undo_perturb_rate=0.5,
+        ),
+        check=server_invariant_check(config, SERVER_STREAM_SEED),
+        options={"scheduler": "priority", "raise_on_uncaught": False},
+    )
+
+
 def _scenarios() -> list[Scenario]:
     return [
         Scenario(
@@ -206,6 +260,7 @@ def _scenarios() -> list[Scenario]:
             ),
             check=_check_ring_counter(4 * 30),
         ),
+        _server_chaos_scenario(),
     ]
 
 
@@ -301,7 +356,9 @@ def run_campaign(
         for seed in range(1, seeds + 1)
     ]
     cells = engine.map(_campaign_cell, matrix, key_fn=_cell_key)
-    report: dict = {"seeds": seeds, "scenarios": {}, "violations": 0}
+    report: dict = {
+        "seeds": seeds, "scenarios": {}, "violations": 0, "failures": [],
+    }
     for index, scenario in enumerate(scenarios):
         totals = {k: 0 for k in REPORTED_METRICS}
         injected: dict[str, int] = {}
@@ -317,6 +374,16 @@ def run_campaign(
                 injected[key] = injected.get(key, 0) + value
             for violation in cell["violations"]:
                 violations.append(f"seed {seed}: {violation}")
+            if cell["violations"]:
+                report["failures"].append({
+                    "scenario": scenario.name,
+                    "seed_index": seed,
+                    "vm_seed": hex(
+                        sweep_seed("campaign", scenario.name, seed)
+                    ),
+                    "outcome": cell["outcome"],
+                    "violations": cell["violations"],
+                })
         report["scenarios"][scenario.name] = {
             "outcomes": {k: outcomes[k] for k in sorted(outcomes)},
             "injected": {k: injected[k] for k in sorted(injected)},
@@ -325,6 +392,16 @@ def run_campaign(
         }
         report["violations"] += len(violations)
     return report
+
+
+def replay_cell(scenario_name: str, seed_index: int) -> dict:
+    """Re-run exactly one failed (scenario, seed) cell serially, no
+    cache, no fan-out — the one-command reproduction path the campaign
+    prints on stderr when a run fails."""
+    scenario = {s.name: s for s in _scenarios()}.get(scenario_name)
+    if scenario is None:
+        raise SystemExit(f"unknown scenario {scenario_name!r}")
+    return run_one(scenario, seed_index)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -345,7 +422,19 @@ def main(argv: list[str] | None = None) -> int:
         help="worker processes (default REPRO_BENCH_JOBS or cpu count; "
              "1 = serial)",
     )
+    parser.add_argument(
+        "--replay", type=int, default=None, metavar="INDEX",
+        help="re-run exactly one (--scenario, seed INDEX) cell serially "
+             "and print its fragment (the reproduction path printed on "
+             "stderr when a campaign run fails)",
+    )
     args = parser.parse_args(argv)
+    if args.replay is not None:
+        if args.scenario is None:
+            parser.error("--replay requires --scenario")
+        fragment = replay_cell(args.scenario, args.replay)
+        print(json.dumps(fragment, indent=2, sort_keys=True))
+        return 1 if fragment["violations"] else 0
     from repro.bench.parallel import RunEngine
 
     engine = RunEngine.from_env()
@@ -356,6 +445,16 @@ def main(argv: list[str] | None = None) -> int:
     # stderr only: the stdout report must stay byte-identical across
     # jobs/cache settings (the campaign's determinism contract).
     print(engine.stats.render(), file=sys.stderr)
+    for failure in report["failures"]:
+        # one copy-pastable reproduction command per failed cell, with
+        # the exact VM seed it will run under
+        print(
+            "REPLAY: PYTHONPATH=src python -m repro.faults.campaign "
+            f"--scenario {failure['scenario']} "
+            f"--replay {failure['seed_index']}"
+            f"  # vm seed {failure['vm_seed']}",
+            file=sys.stderr,
+        )
     if report["violations"]:
         print(
             f"FAIL: {report['violations']} invariant violation(s)",

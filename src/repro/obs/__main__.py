@@ -220,6 +220,9 @@ def _cmd_summary(args, artifact: dict) -> int:
           f"virtual cycles, {summary['threads']} threads, "
           f"{summary['context_switches']} context switches, "
           f"{summary['revocations']} revocations")
+    robustness = summary["robustness"]
+    print("robustness: "
+          + " ".join(f"{k}={robustness[k]}" for k in sorted(robustness)))
     kinds = ", ".join(
         f"{kind}={count}"
         for kind, count in summary["spans_by_kind"].items()

@@ -36,6 +36,7 @@ from repro.obs.export import (
 )
 from repro.obs.scenarios import get_scenario
 from repro.obs.spans import SpanBuilder
+from repro.server.report import robustness_block
 from repro.vm.threads import ThreadState
 from repro.vm.vmcore import JVM, VMOptions
 
@@ -186,6 +187,7 @@ def _package(
         "revocations": metrics.get("support", {}).get(
             "revocations_completed", 0
         ),
+        "robustness": robustness_block(metrics),
         "context_switches": metrics["context_switches"],
         "cycles_by_track": (
             profile_data["tracks"] if profile_data is not None else None

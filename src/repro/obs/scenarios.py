@@ -3,9 +3,10 @@
 One name space for everything ``python -m repro.obs`` can run: the
 figure cells (``fig5a`` .. ``fig8c``, the paper's §4 micro-benchmark at
 each panel's thread mix), the schedule-checker scenarios (``handoff``,
-``barge``, ``racy-yield``, ``lock-order``) and the standalone workloads
+``barge``, ``racy-yield``, ``lock-order``), the standalone workloads
 (``deadlock-pair``, ``medium-inversion``, ``bank``, ``bounded-buffer``,
-``philosophers``).
+``philosophers``) and the server-plane captures (``server-smoke``,
+``server-storm``).
 
 Each entry knows how to *install* itself into a freshly-built VM and
 which :class:`VMOptions` overrides it requires; the capture layer owns
@@ -53,6 +54,53 @@ def _check_installer(name: str):
         get_scenario(name).build().install(vm)
 
     return install
+
+
+def _server_installer(preset: str):
+    def install(vm: "JVM", seed: int, write_pct: int) -> None:
+        from repro.server.plane import AbortStormDetector
+        from repro.server.presets import get_preset
+        from repro.server.workload import build_server
+
+        config = get_preset(preset)
+        build_server(config, seed).install(vm)
+        vm.slice_hooks.append(AbortStormDetector(config))
+
+    return install
+
+
+def _server_scenarios() -> dict[str, ObsScenario]:
+    """Server-plane captures: thread names carry the SLA-tier prefix, so
+    per-tier behaviour reads straight off the span tracks; the abort-storm
+    detector is attached, so ``abort_storm`` / ``storm_cleared`` (and the
+    ladder's ``degrade``) events land in the trace."""
+    from repro.server.plane import CHAOS_PLAN
+
+    return {
+        "server-smoke": ObsScenario(
+            name="server-smoke",
+            description=(
+                "server plane: chaos-smoke preset, overload protection "
+                "on, faults off"
+            ),
+            options={"scheduler": "priority", "raise_on_uncaught": False},
+            install=_server_installer("chaos-smoke"),
+        ),
+        "server-storm": ObsScenario(
+            name="server-storm",
+            description=(
+                "server plane: storm preset under the chaos fault plan — "
+                "abort-storm -> ladder escalation -> recovery in-trace"
+            ),
+            options={
+                "scheduler": "priority",
+                "raise_on_uncaught": False,
+                "faults": CHAOS_PLAN,
+                "audit_rollbacks": True,
+            },
+            install=_server_installer("storm"),
+        ),
+    }
 
 
 def _workload_installer(build: Callable):
@@ -133,6 +181,7 @@ def scenarios() -> dict[str, ObsScenario]:
             options={},
             install=_workload_installer(build),
         )
+    out.update(_server_scenarios())
     return out
 
 

@@ -1,0 +1,15 @@
+"""The open-system server workload plane (``python -m repro.server``).
+
+Seeded arrival processes (:mod:`repro.server.arrivals`) feed a guest-side
+thread-pool server (:mod:`repro.server.workload`) through bounded request
+queues; an overload-protection plane (:mod:`repro.server.plane`) layers
+admission control, timeout/retry with backoff + jitter, an abort-storm
+detector wired to the graceful-degradation ladder, and a chaos soak mode
+driving the fault plane under the invariant auditor.  Reports
+(:mod:`repro.server.report`) are deterministic: byte-identical across
+interpreters, worker counts and cache states.
+"""
+
+from repro.server.workload import ServerConfig, TierSpec, build_server
+
+__all__ = ["ServerConfig", "TierSpec", "build_server"]

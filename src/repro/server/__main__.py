@@ -1,0 +1,225 @@
+"""Command-line server plane: ``python -m repro.server``.
+
+Examples::
+
+    python -m repro.server --list
+    python -m repro.server --preset baseline
+    python -m repro.server --preset storm --seeds 3 --json
+    python -m repro.server --preset soak --requests 100000 --chaos
+    python -m repro.server --preset chaos-smoke --chaos --jobs 4
+    python -m repro.server --preset baseline --compare
+    python -m repro.server --preset chaos-smoke --inject-bug undo-drop
+
+Cells fan out through the bench :class:`~repro.bench.parallel.RunEngine`
+(``--jobs`` / ``REPRO_BENCH_JOBS``) with content-addressed caching.
+Stdout is a pure function of the arguments — byte-identical across
+``--interp``, worker counts and cache state; engine statistics go to
+stderr.  Exit status is 0 when every run held its invariants — except
+under ``--inject-bug``, the negative control, where a *detected*
+violation is the passing outcome.
+
+``--compare`` adds an unmodified-VM baseline run per seed and reports
+the paper's normalized elapsed-time metric (mode cycles / unmodified
+cycles) per seed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.server.plane import ServerSpec, run_server_cell, server_cell_key
+from repro.server.presets import get_preset, preset_names
+from repro.server.report import render_report
+
+
+def _parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.server",
+        description="open-system server workload plane: seeded arrivals, "
+                    "SLA tiers, overload protection, chaos soak",
+    )
+    parser.add_argument(
+        "--preset", default="baseline",
+        help="server shape (see --list; default baseline)",
+    )
+    parser.add_argument(
+        "--requests", type=int, default=0,
+        help="rescale tier request counts to this total (0 = preset)",
+    )
+    parser.add_argument(
+        "--seeds", type=int, default=1,
+        help="sweep indices 1..N (default 1)",
+    )
+    parser.add_argument(
+        "--mode", default="rollback",
+        choices=["unmodified", "rollback", "inheritance", "ceiling"],
+        help="VM policy mode (default rollback)",
+    )
+    parser.add_argument(
+        "--interp", default="fast", choices=["fast", "reference"],
+        help="interpreter engine (reports are identical either way)",
+    )
+    parser.add_argument(
+        "--chaos", action="store_true",
+        help="arm the chaos fault plan with the invariant auditor",
+    )
+    parser.add_argument(
+        "--inject-bug", default="", choices=["", "undo-drop"],
+        help="negative control: arm a genuine seeded defect; exit 0 "
+             "only if the run DETECTS it",
+    )
+    parser.add_argument(
+        "--compare", action="store_true",
+        help="add an unmodified baseline per seed and report the "
+             "paper's normalized elapsed-time metric",
+    )
+    parser.add_argument(
+        "--profile", action="store_true",
+        help="attach the cycle profiler to every run",
+    )
+    parser.add_argument(
+        "--json", action="store_true",
+        help="print the machine-readable report instead of tables",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=None,
+        help="worker processes (default REPRO_BENCH_JOBS; 1 = serial)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="skip the on-disk result cache for this invocation",
+    )
+    parser.add_argument(
+        "--list", action="store_true",
+        help="list preset names and exit",
+    )
+    return parser
+
+
+def _engine(args):
+    from repro.bench.parallel import RunEngine
+
+    engine = RunEngine.from_env()
+    if args.jobs is not None:
+        engine = RunEngine(jobs=max(1, args.jobs), cache=engine.cache)
+    if args.no_cache:
+        engine = RunEngine(jobs=engine.jobs, cache=None)
+    return engine
+
+
+def _cmd_list() -> int:
+    for name in preset_names():
+        config = get_preset(name)
+        print(
+            f"{name}: {len(config.tiers)} tiers, "
+            f"{config.total_requests} requests, "
+            f"{config.total_threads} threads"
+        )
+    return 0
+
+
+def run_sweep(args) -> dict:
+    """Run the sweep and assemble the aggregate report (pure function of
+    the arguments; fan-out and caching are invisible in the output)."""
+    specs = [
+        ServerSpec(
+            preset=args.preset,
+            requests=args.requests,
+            seed_index=index,
+            mode=args.mode,
+            interp=args.interp,
+            chaos=args.chaos,
+            inject_bug=args.inject_bug,
+            profile=args.profile,
+        )
+        for index in range(1, args.seeds + 1)
+    ]
+    if args.compare:
+        specs += [
+            ServerSpec(
+                preset=args.preset,
+                requests=args.requests,
+                seed_index=index,
+                mode="unmodified",
+                interp=args.interp,
+                profile=args.profile,
+            )
+            for index in range(1, args.seeds + 1)
+        ]
+    engine = _engine(args)
+    cells = engine.map(run_server_cell, specs, key_fn=server_cell_key)
+    print(engine.stats.render(), file=sys.stderr)
+    runs = cells[: args.seeds]
+    report = {
+        "preset": args.preset,
+        "requests": args.requests or None,
+        "seeds": args.seeds,
+        "mode": args.mode,
+        "chaos": args.chaos,
+        "inject_bug": args.inject_bug,
+        "runs": runs,
+        "violations": sum(len(r["violations"]) for r in runs),
+    }
+    if args.compare:
+        baselines = cells[args.seeds:]
+        report["normalized_elapsed"] = {
+            run["seed"]: (
+                f"{run['elapsed_cycles'] / base['elapsed_cycles']:.4f}"
+                if base["elapsed_cycles"]
+                else "inf"
+            )
+            for run, base in zip(runs, baselines)
+        }
+        report["baseline_runs"] = baselines
+    return report
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _parser().parse_args(argv)
+    if args.list:
+        return _cmd_list()
+    if args.requests and args.requests < len(get_preset(args.preset).tiers):
+        _parser().error("--requests must cover at least one per tier")
+    report = run_sweep(args)
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        for run in report["runs"]:
+            print(render_report(run))
+            print()
+        if "normalized_elapsed" in report:
+            print("normalized elapsed time vs unmodified baseline:")
+            for seed, ratio in report["normalized_elapsed"].items():
+                print(f"  {seed}: {ratio}")
+        print(
+            f"{report['seeds']} run(s), "
+            f"{report['violations']} violation(s)"
+        )
+    detected = report["violations"] > 0
+    if args.inject_bug:
+        # negative control: the seeded defect MUST be caught
+        if detected:
+            print(
+                "OK: seeded defect detected by the auditor/invariants",
+                file=sys.stderr,
+            )
+            return 0
+        print(
+            "FAIL: seeded undo-drop defect went undetected",
+            file=sys.stderr,
+        )
+        return 1
+    if detected:
+        print(
+            f"FAIL: {report['violations']} invariant violation(s)",
+            file=sys.stderr,
+        )
+        return 1
+    print("OK: zero invariant violations", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

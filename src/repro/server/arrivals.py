@@ -1,0 +1,177 @@
+"""Seeded open-system arrival processes.
+
+Every request stream the server plane consumes — inter-arrival gaps,
+per-request lock targets, read/write mix, service demands, retry jitter —
+is precomputed host-side from ``derive_seed(seed, "server", purpose,
+tier)``.  Two consequences, both load-bearing:
+
+* the streams are a pure function of ``(seed, tier name)`` — the number
+  of guest threads, worker fan-out (``REPRO_BENCH_JOBS``) and interpreter
+  choice cannot perturb them (a regression test pins this);
+* nothing in guest code draws randomness (no ``RAND``/``PAUSE``
+  bytecodes), so the schedule itself stays a pure function of the VM
+  seed.
+
+All samplers use **integer arithmetic only**.  ``DeterministicRng`` gives
+cross-platform uniform draws, but shaping them through ``math.log``/
+``math.pow`` would tie the streams to the host libm's last-ulp behaviour;
+the fixed-point exponential below keeps golden values exact everywhere.
+"""
+
+from __future__ import annotations
+
+from repro.util.rng import DeterministicRng, derive_seed
+
+#: arrival-process kinds a tier can declare
+ARRIVAL_KINDS = ("poisson", "bursty", "heavy")
+
+#: fixed-point fraction bits for the integer exponential sampler
+_FRAC = 20
+#: round(ln(2) * 2**_FRAC)
+_LN2_FP = 726817
+
+
+def _log2_fp(u: int) -> int:
+    """``floor(log2(u) * 2**_FRAC)`` for ``u >= 1``, by the classic
+    bit-at-a-time binary-logarithm recurrence (integer-only)."""
+    n = u.bit_length() - 1
+    result = n << _FRAC
+    x = (u << 32) >> n  # mantissa in [1, 2) as Q32
+    for i in range(_FRAC):
+        x = (x * x) >> 32
+        if x >= (2 << 32):
+            x >>= 1
+            result |= 1 << (_FRAC - 1 - i)
+    return result
+
+
+def int_exponential(rng: DeterministicRng, mean: int) -> int:
+    """Exponentially distributed integer draw with the given mean.
+
+    Inverse-CDF on a raw 64-bit uniform: ``-mean * ln(u / 2**64)``
+    evaluated in fixed point.  Every intermediate is an int, so the draw
+    is bit-stable across platforms and Python versions.
+    """
+    if mean <= 0:
+        raise ValueError("mean must be positive")
+    u = rng.next_u64() or 1
+    ln_units = (64 << _FRAC) - _log2_fp(u)  # -log2(u/2^64), Q20
+    return (mean * ln_units * _LN2_FP) >> (2 * _FRAC)
+
+
+def _heavy_multiplier(rng: DeterministicRng, cap: int = 8) -> int:
+    """Discrete Pareto-like multiplier: ``3**j`` with
+    ``P(j) = (3/4) * (1/4)**j`` (capped), giving mean 3 with rare large
+    spikes — the heavy tail without any float ``pow``."""
+    u = rng.next_u64()
+    j = 0
+    while j < cap and (u & 3) == 0:
+        j += 1
+        u >>= 2
+    return 3 ** j
+
+
+def stream_rng(seed: int, purpose: str, tier: str) -> DeterministicRng:
+    """The RNG for one (purpose, tier) stream of one run."""
+    return DeterministicRng(derive_seed(seed, "server", purpose, tier))
+
+
+def arrival_gaps(
+    kind: str,
+    rng: DeterministicRng,
+    count: int,
+    mean_gap: int,
+    *,
+    burst_len: int = 16,
+    burst_factor: int = 8,
+) -> list[int]:
+    """``count`` inter-arrival gaps (virtual cycles) with mean ``mean_gap``.
+
+    ``poisson``
+        i.i.d. exponential gaps — the open-system baseline.
+    ``bursty``
+        on/off modulation: blocks of ``burst_len`` arrivals alternate
+        between a fast phase (mean ``mean_gap // burst_factor``) and a
+        slow phase chosen so the overall mean stays ``mean_gap``.
+    ``heavy``
+        exponential base gaps scaled by a discrete Pareto-like
+        multiplier; mean stays ``mean_gap`` but the tail produces long
+        quiet periods followed by dense arrivals.
+    """
+    if kind not in ARRIVAL_KINDS:
+        raise ValueError(
+            f"unknown arrival kind {kind!r}; known: {ARRIVAL_KINDS}"
+        )
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    if kind == "poisson":
+        return [int_exponential(rng, mean_gap) for _ in range(count)]
+    if kind == "bursty":
+        fast = max(1, mean_gap // burst_factor)
+        slow = max(1, 2 * mean_gap - fast)
+        gaps = []
+        for i in range(count):
+            mean = fast if (i // burst_len) % 2 == 0 else slow
+            gaps.append(int_exponential(rng, mean))
+        return gaps
+    # heavy: base mean of mean_gap/3 against a mean-3 multiplier
+    base = max(1, mean_gap // 3)
+    return [
+        int_exponential(rng, base) * _heavy_multiplier(rng)
+        for _ in range(count)
+    ]
+
+
+def service_demands(
+    rng: DeterministicRng, count: int, mean_iters: int, *, heavy: bool
+) -> list[int]:
+    """Per-request service loop iterations (critical-section length).
+
+    Uniform around the mean; when ``heavy``, scaled by the Pareto-like
+    multiplier so a tier can model occasional elephant transactions.
+    """
+    lo = max(1, mean_iters // 2)
+    hi = max(lo, mean_iters + mean_iters // 2)
+    out = []
+    for _ in range(count):
+        iters = rng.randint(lo, hi)
+        if heavy:
+            iters *= _heavy_multiplier(rng, cap=4)
+        out.append(iters)
+    return out
+
+
+def lock_targets(
+    rng: DeterministicRng, count: int, locks: int, hot_pct: int
+) -> list[int]:
+    """Per-request data-lock index: ``hot_pct`` percent hit lock 0 (the
+    contention focus), the rest spread uniformly over the others."""
+    if locks < 1:
+        raise ValueError("need at least one data lock")
+    out = []
+    for _ in range(count):
+        if locks == 1 or rng.randint(0, 99) < hot_pct:
+            out.append(0)
+        else:
+            out.append(rng.randint(1, locks - 1))
+    return out
+
+
+def write_flags(
+    rng: DeterministicRng, count: int, write_pct: int
+) -> list[int]:
+    """Per-request transaction kind: 1 = read-modify-write, 0 = read."""
+    return [
+        1 if rng.randint(0, 99) < write_pct else 0 for _ in range(count)
+    ]
+
+
+def retry_jitter(
+    rng: DeterministicRng, count: int, retries: int, bound: int
+) -> list[int]:
+    """Flat ``count * retries`` jitter table for the exponential-backoff
+    sleeps (entry ``rid * retries + attempt``), uniform in [0, bound]."""
+    slots = count * max(1, retries)
+    if bound <= 0:
+        return [0] * slots
+    return [rng.randint(0, bound) for _ in range(slots)]

@@ -120,3 +120,20 @@ def normalize_series(values: Sequence[float], baseline: float) -> list[float]:
     if baseline == 0:
         raise ValueError("baseline must be non-zero")
     return [float(v) / baseline for v in values]
+
+
+def nearest_rank(sorted_samples: Sequence[int], numer: int, denom: int) -> int:
+    """Nearest-rank percentile of an ascending integer sample.
+
+    ``numer/denom`` is the percentile as a fraction (p99 = 99/100,
+    p999 = 999/1000).  Pure integer arithmetic — the latency reports built
+    on this must stay byte-identical across hosts, so no float rounding is
+    allowed anywhere near them.  Raises on an empty sample.
+    """
+    n = len(sorted_samples)
+    if n == 0:
+        raise ValueError("empty sample")
+    if not (0 < numer <= denom):
+        raise ValueError(f"percentile {numer}/{denom} outside (0, 1]")
+    rank = (n * numer + denom - 1) // denom  # ceil(n * p), 1-based
+    return sorted_samples[rank - 1]

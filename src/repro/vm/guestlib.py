@@ -1,0 +1,168 @@
+"""Reusable guest-code emitters: a bounded ring-buffer queue library.
+
+The server workload plane (:mod:`repro.server`) builds thread-pool guest
+programs out of many per-tier request queues.  Rather than hand-emitting
+the same head/tail/count arithmetic for every queue, this module provides
+parametric :class:`~repro.vm.assembler.Asm` emitters over a *queue family*:
+one :class:`RingQueueFields` names the statics (each an array indexed by a
+queue id), and the emitters produce the javac-shaped bytecode operating on
+one member of the family.
+
+Layout of a queue family on class ``C`` for ``Q`` queues::
+
+    C.<locks>  ref  array[Q] of monitor objects (one lock per queue)
+    C.<bufs>   ref  array[Q] of ring arrays (each sized >= max occupancy)
+    C.<head>   ref  array[Q] int  next index to pop
+    C.<tail>   ref  array[Q] int  next index to push
+    C.<count>  ref  array[Q] int  current occupancy
+    C.<closed> ref  array[Q] int  1 = no further pushes will arrive
+
+All emitters assume the caller already *holds the queue's lock* (they are
+meant to run inside an ``asm.sync()`` over ``locks[q]``) and that the ring
+array is large enough — admission control is the caller's policy, not the
+queue's.  Every update goes through ordinary ``astore``, so on the
+modified VM the operations are write-barriered, undo-logged and fully
+revocable like any other guest code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.vm.assembler import Asm
+from repro.vm.classfile import FieldDef
+
+
+@dataclass(frozen=True)
+class RingQueueFields:
+    """Static-field names of one queue family on guest class ``cls``."""
+
+    cls: str
+    locks: str = "qlocks"
+    bufs: str = "qbufs"
+    head: str = "qhead"
+    tail: str = "qtail"
+    count: str = "qcount"
+    closed: str = "qdone"
+
+    def field_defs(self) -> list[FieldDef]:
+        """The ``FieldDef`` rows a guest class needs for this family."""
+        return [
+            FieldDef(name, "ref", is_static=True)
+            for name in (
+                self.locks, self.bufs, self.head, self.tail, self.count,
+                self.closed,
+            )
+        ]
+
+    def setup(self, vm, capacities: list[int]) -> None:
+        """Host-side allocation of the whole family (one queue per entry
+        of ``capacities``); lock objects are instances of ``cls``."""
+        q = len(capacities)
+        locks = vm.new_array(q)
+        bufs = vm.new_array(q)
+        for i, capacity in enumerate(capacities):
+            locks.put(i, vm.new_object(self.cls))
+            bufs.put(i, vm.new_array(capacity, -1))
+        vm.set_static(self.cls, self.locks, locks)
+        vm.set_static(self.cls, self.bufs, bufs)
+        for name in (self.head, self.tail, self.count, self.closed):
+            vm.set_static(self.cls, name, vm.new_array(q, 0))
+
+
+def emit_elem(a: Asm, cls: str, field: str, idx_slot: int) -> Asm:
+    """Push ``cls.field[idx]`` (one element of a static array)."""
+    return a.getstatic(cls, field).load(idx_slot).aload()
+
+
+def emit_elem_inc(
+    a: Asm, cls: str, field: str, idx_slot: int, delta: int = 1
+) -> Asm:
+    """``cls.field[idx] += delta`` (atomic under pseudo-preemption: the
+    sequence contains no yield point)."""
+    a.getstatic(cls, field).load(idx_slot)
+    emit_elem(a, cls, field, idx_slot)
+    return a.const(delta).add().astore()
+
+
+def emit_enqueue(
+    a: Asm, q: RingQueueFields, qid_slot: int, buf_slot: int,
+    cap_slot: int, rid_slot: int,
+) -> None:
+    """``buf[tail] = rid; tail = (tail + 1) % cap; count += 1``.
+
+    ``buf_slot``/``cap_slot`` are locals caching ``bufs[qid]`` and its
+    length (load them once per method with :func:`emit_cache_queue`).
+    Caller holds ``locks[qid]`` and has ensured ``count < cap``.
+    """
+    c = q.cls
+    a.load(buf_slot)
+    emit_elem(a, c, q.tail, qid_slot)
+    a.load(rid_slot).astore()
+    a.getstatic(c, q.tail).load(qid_slot)
+    emit_elem(a, c, q.tail, qid_slot)
+    a.const(1).add().load(cap_slot).mod().astore()
+    emit_elem_inc(a, c, q.count, qid_slot, 1)
+
+
+def emit_dequeue(
+    a: Asm, q: RingQueueFields, qid_slot: int, buf_slot: int,
+    cap_slot: int, out_slot: int,
+) -> None:
+    """``out = buf[head]; head = (head + 1) % cap; count -= 1``.
+
+    Caller holds ``locks[qid]`` and has ensured ``count > 0``.
+    """
+    c = q.cls
+    a.load(buf_slot)
+    emit_elem(a, c, q.head, qid_slot)
+    a.aload().store(out_slot)
+    a.getstatic(c, q.head).load(qid_slot)
+    emit_elem(a, c, q.head, qid_slot)
+    a.const(1).add().load(cap_slot).mod().astore()
+    emit_elem_inc(a, c, q.count, qid_slot, -1)
+
+
+def emit_await_item_or_close(
+    a: Asm, q: RingQueueFields, qid_slot: int, lock_slot: int
+) -> None:
+    """``while (count == 0 && !closed) lock.wait()``.
+
+    The canonical condition-loop guard: spurious wake-ups (including the
+    re-check after a producer's enqueue was *revoked*) re-test the
+    condition, so rollback of a producer's section is transparent to
+    consumers.  ``lock_slot`` caches ``locks[qid]``.
+    """
+    c = q.cls
+
+    def cond() -> None:
+        emit_elem(a, c, q.count, qid_slot)
+        a.const(0).eq()
+        emit_elem(a, c, q.closed, qid_slot)
+        a.const(0).eq()
+        a.and_()
+
+    a.while_(cond, lambda: a.load(lock_slot).wait_())
+
+
+def emit_close(a: Asm, q: RingQueueFields, qid_slot: int,
+               lock_slot: int) -> None:
+    """``closed[qid] = 1; lock.notifyAll()`` (caller holds the lock)."""
+    a.getstatic(q.cls, q.closed).load(qid_slot).const(1).astore()
+    a.load(lock_slot).notifyall()
+
+
+def emit_cache_queue(
+    a: Asm, q: RingQueueFields, qid_slot: int,
+) -> tuple[int, int, int]:
+    """Cache ``locks[qid]``, ``bufs[qid]`` and the ring capacity in fresh
+    locals; returns ``(lock_slot, buf_slot, cap_slot)``."""
+    lock_slot = a.local()
+    buf_slot = a.local()
+    cap_slot = a.local()
+    emit_elem(a, q.cls, q.locks, qid_slot)
+    a.store(lock_slot)
+    emit_elem(a, q.cls, q.bufs, qid_slot)
+    a.store(buf_slot)
+    a.load(buf_slot).arraylen().store(cap_slot)
+    return lock_slot, buf_slot, cap_slot

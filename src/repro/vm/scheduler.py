@@ -81,6 +81,8 @@ class BaseScheduler:
         self.decision_hook: Optional["Callable[[list[VMThread]], int]"] = None
         #: tid -> (revocations, sections_committed) at the last watchdog scan
         self._watchdog_snap: dict[int, tuple[int, int]] = {}
+        #: threads flagged by the starvation watchdog over the whole run
+        self.watchdog_trips = 0
 
     # ------------------------------------------------------------ ready set
     def make_ready(self, thread: VMThread) -> None:
@@ -295,6 +297,7 @@ class BaseScheduler:
             if prev is None:
                 continue
             if cur[1] == prev[1] and cur[0] - prev[0] >= threshold:
+                self.watchdog_trips += 1
                 vm.trace(
                     "starvation", t, revocations=cur[0] - prev[0]
                 )

@@ -481,6 +481,7 @@ class JVM:
             "elapsed_cycles": self.clock.now,
             "context_switches": self.scheduler.context_switches,
             "slices": self.scheduler.slices,
+            "watchdog_trips": self.scheduler.watchdog_trips,
             "threads": per_thread,
             "support": support_metrics,
             "trace": {

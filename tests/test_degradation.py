@@ -205,6 +205,8 @@ class TestWatchdog:
         assert vm.get_static("T", "counter") == 4_000
         assert s["starvations_detected"] >= 1
         assert s["degradations_to_inheritance"] >= 1
+        # the scheduler-level trip counter mirrors the support metric
+        assert vm.metrics()["watchdog_trips"] >= 1
         assert vm.tracer.of_kind("starvation")
         degrades = vm.tracer.of_kind("degrade")
         assert any(e.details["reason"] == "starvation" for e in degrades)
@@ -230,4 +232,5 @@ class TestWatchdog:
             vm.spawn("T", "run", name=f"t{k}")
         vm.run()
         assert vm.metrics()["support"]["starvations_detected"] == 0
+        assert vm.metrics()["watchdog_trips"] == 0
         assert vm.get_static("T", "counter") == 3 * 300

@@ -92,6 +92,7 @@ class TestStormLivelock:
         s = vm.metrics()["support"]
         assert s["revocations_completed"] == 3
         assert s["degradations_to_inheritance"] == 1
+        assert s["retry_budget_exhausted"] == 1
         assert s["revocations_denied_degraded"] >= 1
         degrades = vm.tracer.of_kind("degrade")
         assert degrades and degrades[0].details["reason"] == "budget"
@@ -108,6 +109,33 @@ class TestStormLivelock:
         requests = vm.tracer.of_kind("revocation_request")
         assert requests
         assert all(e.details["origin"] == "storm" for e in requests)
+
+
+class TestHottestSiteEscalation:
+    def test_escalation_walks_the_ladder(self):
+        """The abort-storm hook demotes the most-revoked site one rung
+        per call, then reports exhaustion with None."""
+        vm = _storm_vm(
+            revocation_retry_budget=3,
+            watchdog_interval=0,
+            max_cycles=30_000_000,
+        )
+        vm.run()
+        # the budget already demoted the hot site to inheritance; the
+        # storm hook pushes it on down to non-revocable
+        assert vm.support.escalate_hottest_site() == "nonrevocable"
+        s = vm.metrics()["support"]
+        assert s["degradations_to_nonrevocable"] == 1
+        degrades = vm.tracer.of_kind("degrade")
+        assert any(
+            e.details["reason"] == "abort-storm" for e in degrades
+        )
+        # fully degraded: nothing left to demote
+        assert vm.support.escalate_hottest_site() is None
+
+    def test_escalation_noop_without_sites(self):
+        vm = make_vm("rollback")
+        assert vm.support.escalate_hottest_site() is None
 
 
 class TestGuestExceptionInjection:

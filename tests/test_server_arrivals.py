@@ -1,0 +1,189 @@
+"""Seeded arrival processes: golden values, integer-only samplers, and
+the stream-independence contract (streams are a pure function of
+``(seed, tier name)`` — thread counts and worker fan-out cannot perturb
+them).
+
+The golden lists pin the exact fixed-point arithmetic: any change to the
+samplers (or a host libm sneaking in) shows up as a diff here before it
+silently invalidates every cached server cell.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.server.arrivals import (
+    ARRIVAL_KINDS,
+    _heavy_multiplier,
+    _log2_fp,
+    arrival_gaps,
+    int_exponential,
+    lock_targets,
+    retry_jitter,
+    service_demands,
+    stream_rng,
+    write_flags,
+)
+from repro.server.presets import get_preset
+from repro.server.workload import TierSpec, tier_streams
+from repro.util.rng import sweep_seed
+
+SEED = 0x5EED
+
+
+class TestFixedPointLog:
+    def test_exact_powers(self):
+        assert _log2_fp(1) == 0
+        assert _log2_fp(2) == 1 << 20
+        assert _log2_fp(1 << 32) == 32 << 20
+
+    def test_log2_of_three(self):
+        # floor(log2(3) * 2^20) = 1661953: the fractional bits are real
+        assert _log2_fp(3) == 1661953
+
+    def test_monotone(self):
+        values = [_log2_fp(u) for u in (1, 2, 3, 7, 100, 10**9, 2**63)]
+        assert values == sorted(values)
+
+
+class TestSamplers:
+    def test_poisson_golden(self):
+        gaps = arrival_gaps(
+            "poisson", stream_rng(SEED, "gaps", "gold"), 6, 1000
+        )
+        assert gaps == [1968, 75, 662, 1450, 1103, 1706]
+
+    def test_bursty_golden(self):
+        gaps = arrival_gaps(
+            "bursty", stream_rng(SEED, "gaps", "gold"), 6, 1000
+        )
+        assert gaps == [246, 9, 82, 181, 137, 213]
+
+    def test_heavy_golden(self):
+        gaps = arrival_gaps(
+            "heavy", stream_rng(SEED, "gaps", "gold"), 6, 1000
+        )
+        assert gaps == [655, 220, 367, 472, 1942, 406]
+
+    def test_service_demand_golden(self):
+        assert service_demands(
+            stream_rng(SEED, "svc", "gold"), 6, 24, heavy=False
+        ) == [32, 15, 14, 31, 22, 15]
+
+    def test_lock_write_jitter_golden(self):
+        assert lock_targets(
+            stream_rng(SEED, "lock", "gold"), 8, 4, 60
+        ) == [3, 0, 0, 0, 3, 2, 0, 2]
+        assert write_flags(
+            stream_rng(SEED, "rw", "gold"), 8, 50
+        ) == [0, 1, 0, 0, 1, 1, 1, 0]
+        assert retry_jitter(
+            stream_rng(SEED, "jitter", "gold"), 3, 2, 500
+        ) == [263, 4, 354, 376, 472, 257]
+
+    def test_exponential_mean(self):
+        rng = stream_rng(SEED, "gaps", "mean")
+        draws = [int_exponential(rng, 1000) for _ in range(4000)]
+        assert abs(sum(draws) // len(draws) - 1000) < 100
+
+    def test_modulated_kinds_keep_the_mean(self):
+        # bursty/heavy reshape the process but must not change the load
+        for kind in ("bursty", "heavy"):
+            gaps = arrival_gaps(
+                kind, stream_rng(SEED, "gaps", "m" + kind), 4000, 1000
+            )
+            assert abs(sum(gaps) // len(gaps) - 1000) < 200
+
+    def test_heavy_multiplier_is_power_of_three(self):
+        rng = stream_rng(SEED, "gaps", "mult")
+        for _ in range(200):
+            m = _heavy_multiplier(rng)
+            assert m >= 1
+            while m % 3 == 0:
+                m //= 3
+            assert m == 1
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            arrival_gaps("zipf", stream_rng(SEED, "gaps", "x"), 4, 100)
+
+    def test_all_kinds_are_registered(self):
+        assert ARRIVAL_KINDS == ("poisson", "bursty", "heavy")
+
+
+class TestStreamIndependence:
+    """The satellite-2 regression: arrival streams depend only on
+    ``(seed, tier name)`` and the tier's own arrival parameters — never
+    on guest thread counts or worker fan-out."""
+
+    def test_streams_ignore_worker_count(self):
+        config = get_preset("chaos-smoke")
+        for tier in config.tiers:
+            fat = TierSpec(**{
+                **{
+                    f: getattr(tier, f)
+                    for f in tier.__dataclass_fields__
+                },
+                "workers": tier.workers * 8,
+            })
+            a = tier_streams(config, tier, SEED)
+            b = tier_streams(config, fat, SEED)
+            assert a == b
+
+    def test_streams_ignore_other_tiers(self):
+        small = get_preset("chaos-smoke")
+        big = get_preset("storm")
+        # same tier spec embedded in different configs with identical
+        # data-plane shape draws identical streams
+        tier = small.tiers[0]
+        others = tuple(
+            t for t in big.tiers if t.name != tier.name
+        )
+        a = tier_streams(small, tier, SEED)
+        b = tier_streams(
+            type(small)(
+                name="other",
+                tiers=(tier,) + others,
+                locks=small.locks,
+                cells=small.cells,
+                hot_lock_pct=small.hot_lock_pct,
+            ),
+            tier,
+            SEED,
+        )
+        assert a == b
+
+    def test_streams_change_with_seed(self):
+        config = get_preset("chaos-smoke")
+        tier = config.tiers[0]
+        assert tier_streams(config, tier, 1) != tier_streams(
+            config, tier, 2
+        )
+
+    def test_stream_lengths_match_requests(self):
+        config = get_preset("baseline")
+        for tier in config.tiers:
+            streams = tier_streams(config, tier, SEED)
+            assert len(streams.gaps) == tier.requests
+            assert len(streams.svc) == tier.requests
+            assert len(streams.lockidx) == tier.requests
+            assert len(streams.iswrite) == tier.requests
+            assert len(streams.jitter) == tier.requests * max(
+                1, tier.max_retries
+            )
+
+
+class TestSweepSeedGolden:
+    """Golden VM seeds for the server namespace: cache keys and replay
+    commands depend on these exact values."""
+
+    def test_server_sweep_seeds(self):
+        assert sweep_seed("server", "storm", 1) == 0xF18B685A06B41A31
+        assert sweep_seed("server", "chaos-smoke", 1) == (
+            0xC05382ACB1F83C4C
+        )
+
+    def test_namespaces_disjoint(self):
+        assert sweep_seed("server", "storm", 1) != sweep_seed(
+            "campaign", "storm", 1
+        )

@@ -1,0 +1,163 @@
+"""The ``python -m repro.server`` CLI, its byte-identity contract, the
+obs-plane robustness summary, and the new server scenarios in the obs
+registry."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.__main__ import main as obs_main
+from repro.obs.scenarios import scenarios as obs_scenarios
+from repro.server.__main__ import main as server_main
+from repro.server.plane import ServerSpec, server_cell_key
+
+SERIAL = ["--jobs", "1", "--no-cache"]
+
+
+def _server(capsys, *argv):
+    rc = server_main(list(argv) + SERIAL)
+    captured = capsys.readouterr()
+    return rc, captured.out, captured.err
+
+
+class TestServerCli:
+    def test_list(self, capsys):
+        rc = server_main(["--list"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        for name in ("baseline", "storm", "chaos-smoke", "soak", "fleet"):
+            assert name in out
+
+    def test_unknown_preset(self, capsys):
+        with pytest.raises(KeyError):
+            server_main(["--preset", "nope"] + SERIAL)
+
+    def test_chaos_smoke_human(self, capsys):
+        rc, out, err = _server(
+            capsys, "--preset", "chaos-smoke", "--chaos"
+        )
+        assert rc == 0
+        assert "outcome=completed" in out
+        assert "violations: none" in out
+        assert "robustness:" in out
+        assert "faults injected:" in out
+        assert "OK: zero invariant violations" in err
+
+    def test_json_is_machine_readable(self, capsys):
+        rc, out, _ = _server(
+            capsys, "--preset", "chaos-smoke", "--chaos", "--json"
+        )
+        assert rc == 0
+        report = json.loads(out)
+        assert report["preset"] == "chaos-smoke"
+        assert report["violations"] == 0
+        run = report["runs"][0]
+        assert run["format"] == "repro.server/1"
+        assert run["chaos"] is True
+
+    def test_stdout_ignores_worker_count(self, capsys):
+        """Satellite 2 at the CLI layer: the report is byte-identical
+        for any ``--jobs`` value."""
+        outputs = []
+        for jobs in ("1", "3"):
+            rc = server_main([
+                "--preset", "chaos-smoke", "--chaos", "--json",
+                "--jobs", jobs, "--no-cache",
+            ])
+            assert rc == 0
+            outputs.append(capsys.readouterr().out)
+        assert outputs[0] == outputs[1]
+
+    def test_stdout_ignores_interp(self, capsys):
+        outputs = []
+        for interp in ("fast", "reference"):
+            rc, out, _ = _server(
+                capsys, "--preset", "chaos-smoke", "--json",
+                "--interp", interp,
+            )
+            assert rc == 0
+            outputs.append(out)
+        assert outputs[0] == outputs[1]
+
+    def test_inject_bug_inverts_exit_code(self, capsys):
+        rc, _, err = _server(
+            capsys, "--preset", "chaos-smoke",
+            "--inject-bug", "undo-drop",
+        )
+        assert rc == 0
+        assert "seeded defect detected" in err
+
+    def test_requests_rescales(self, capsys):
+        rc, out, _ = _server(
+            capsys, "--preset", "chaos-smoke", "--requests", "60",
+            "--json",
+        )
+        assert rc == 0
+        report = json.loads(out)
+        assert report["requests"] == 60
+        total = sum(
+            t["requests"] for t in report["runs"][0]["tiers"].values()
+        )
+        assert 50 <= total <= 60
+
+    def test_compare_reports_normalized_elapsed(self, capsys):
+        rc, out, _ = _server(
+            capsys, "--preset", "chaos-smoke", "--compare", "--json"
+        )
+        assert rc == 0
+        report = json.loads(out)
+        ratios = report["normalized_elapsed"]
+        assert len(ratios) == 1
+        assert float(next(iter(ratios.values()))) > 0
+
+    def test_cell_key_distinguishes_specs(self):
+        base = ServerSpec(preset="chaos-smoke")
+        assert server_cell_key(base) == server_cell_key(base)
+        for other in (
+            ServerSpec(preset="storm"),
+            ServerSpec(preset="chaos-smoke", seed_index=2),
+            ServerSpec(preset="chaos-smoke", chaos=True),
+            ServerSpec(preset="chaos-smoke", mode="inheritance"),
+        ):
+            assert server_cell_key(other) != server_cell_key(base)
+
+
+class TestObsIntegration:
+    def test_server_scenarios_registered(self):
+        table = obs_scenarios()
+        assert "server-smoke" in table
+        assert "server-storm" in table
+        assert "faults" in table["server-storm"].options
+
+    def test_obs_list_includes_server(self, capsys):
+        rc = obs_main(["--list"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "server-smoke" in out and "server-storm" in out
+
+    def test_summary_prints_robustness(self, capsys):
+        """Satellite 1: the robustness counters appear in every obs
+        summary, not just server runs."""
+        rc = obs_main(
+            ["summary", "--scenario", "deadlock-pair"] + SERIAL
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "robustness:" in out
+        for key in (
+            "retry_budget_exhausted", "degradations_to_inheritance",
+            "watchdog_trips",
+        ):
+            assert key in out
+
+    def test_server_smoke_capture(self, capsys):
+        rc = obs_main(
+            ["summary", "--scenario", "server-smoke", "--json"] + SERIAL
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        summary = json.loads(out)
+        assert summary["outcome"] == "completed"
+        assert summary["robustness"]["watchdog_trips"] == 0

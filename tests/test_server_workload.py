@@ -1,0 +1,257 @@
+"""Guest server workload: config validation, request conservation, the
+ring-queue guest library under real load, and report determinism.
+
+The unit shape (``_SMALL``) is deliberately tiny — each run finishes in
+well under a second — while still overloaded enough to exercise
+shedding, timeouts and retries.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.check import final_fingerprint, fingerprint_digest
+from repro.obs.capture import _reset_build_counters
+from repro.server.plane import (
+    AbortStormDetector,
+    check_server_invariants,
+)
+from repro.server.report import build_report, latency_summary
+from repro.server.workload import (
+    ServerConfig,
+    TierSpec,
+    build_server,
+    expected_cycle_cap,
+    tier_streams,
+)
+from repro.vm.vmcore import JVM, VMOptions
+
+SEED = 0x5EED
+
+
+def _small() -> ServerConfig:
+    return ServerConfig(
+        name="unit-small",
+        tiers=(
+            TierSpec(
+                "gold", priority=8, requests=24, mean_gap=900,
+                arrival="bursty", workers=2, write_pct=80, svc_iters=24,
+                timeout=10_000, max_retries=2, backoff=700, jitter=300,
+                shed_depth=8,
+            ),
+            TierSpec(
+                "bronze", priority=3, requests=16, mean_gap=1_300,
+                arrival="heavy", workers=1, write_pct=70, svc_iters=30,
+                heavy_service=True, timeout=14_000, max_retries=2,
+                backoff=900, jitter=400, shed_depth=6,
+            ),
+        ),
+        locks=2, cells=8, hot_lock_pct=75,
+        storm_window=12_000, storm_enter=5, storm_exit=1,
+    )
+
+
+def _run(config, seed=SEED, mode="rollback", detector=True, **overrides):
+    _reset_build_counters()
+    options = VMOptions(
+        mode=mode,
+        scheduler="priority",
+        seed=seed,
+        raise_on_uncaught=False,
+        max_cycles=expected_cycle_cap(config, seed),
+        **overrides,
+    )
+    vm = JVM(options)
+    build_server(config, seed).install(vm)
+    storm = AbortStormDetector(config) if detector else None
+    if storm is not None:
+        vm.slice_hooks.append(storm)
+    vm.run()
+    return vm, storm
+
+
+class TestConfigValidation:
+    def test_needs_tiers(self):
+        with pytest.raises(ValueError):
+            ServerConfig(name="x", tiers=())
+
+    def test_duplicate_tier_names_rejected(self):
+        tier = _small().tiers[0]
+        with pytest.raises(ValueError):
+            ServerConfig(name="x", tiers=(tier, tier))
+
+    def test_generator_must_outrank_workers(self):
+        tier = TierSpec("t", priority=12, requests=4, mean_gap=100)
+        with pytest.raises(ValueError):
+            ServerConfig(name="x", tiers=(tier,), generator_priority=12)
+
+    def test_scaled_preserves_shape(self):
+        config = _small()
+        scaled = config.scaled(400)
+        assert len(scaled.tiers) == len(config.tiers)
+        assert 380 <= scaled.total_requests <= 400
+        # proportions survive the rescale
+        assert scaled.tiers[0].requests > scaled.tiers[1].requests
+        # non-request knobs are untouched
+        assert scaled.tiers[0].timeout == config.tiers[0].timeout
+        assert scaled.locks == config.locks
+
+    def test_scaled_rejects_too_few(self):
+        with pytest.raises(ValueError):
+            _small().scaled(1)
+
+
+class TestServerRun:
+    def test_invariants_hold_rollback(self):
+        vm, _ = _run(_small())
+        assert check_server_invariants(vm, _small(), SEED) == []
+
+    def test_invariants_hold_unmodified(self):
+        vm, _ = _run(_small(), mode="unmodified")
+        assert check_server_invariants(vm, _small(), SEED) == []
+
+    def test_every_request_accounted(self):
+        config = _small()
+        vm, _ = _run(config)
+        for ti, tier in enumerate(config.tiers):
+            shed = vm.get_static("Server", "shed").get(ti)
+            dropped = vm.get_static("Server", "exhausted").get(ti)
+            done = vm.get_static("Server", "completed").get(ti)
+            assert shed + dropped + done == tier.requests
+            assert vm.get_static("Server", "errors").get(ti) == 0
+
+    def test_overload_engages_under_pressure(self):
+        """The tiny shape is overloaded: at least one protection layer
+        (shedding, timeout/retry) must visibly engage."""
+        config = _small()
+        vm, _ = _run(config)
+        shed = sum(
+            vm.get_static("Server", "shed").get(ti)
+            for ti in range(len(config.tiers))
+        )
+        retries = sum(
+            vm.get_static("Server", "retries").get(ti)
+            for ti in range(len(config.tiers))
+        )
+        assert shed + retries > 0
+
+    def test_data_cells_match_write_stream(self):
+        config = _small()
+        vm, _ = _run(config)
+        total = 0
+        cells = vm.get_static("Server", "cells")
+        for li in range(config.locks):
+            row = cells.get(li)
+            total += sum(row.get(ci) for ci in range(len(row)))
+        expected = 0
+        for ti, tier in enumerate(config.tiers):
+            lat = vm.get_static("Server", "lat").get(ti)
+            streams = tier_streams(config, tier, SEED)
+            expected += sum(
+                streams.svc[i]
+                for i in range(tier.requests)
+                if lat.get(i) >= 0 and streams.iswrite[i]
+            )
+        assert total == expected
+
+    def test_corrupted_counter_is_flagged(self):
+        """The invariant checker actually detects tampering (it is not
+        vacuously green)."""
+        config = _small()
+        vm, _ = _run(config)
+        completed = vm.get_static("Server", "completed")
+        completed.put(0, completed.get(0) + 1)
+        problems = check_server_invariants(vm, config, SEED)
+        assert problems and "gold" in problems[0]
+
+
+class TestDeterminism:
+    def test_interp_parity_byte_identical(self):
+        config = _small()
+        reports = {}
+        for interp in ("fast", "reference"):
+            vm, storm = _run(config, interp=interp)
+            report = build_report(
+                vm, config, seed=SEED, mode="rollback",
+                outcome="completed", violations=[],
+                storm_events=storm.events, injected={},
+            )
+            reports[interp] = json.dumps(report, sort_keys=True)
+        assert reports["fast"] == reports["reference"]
+
+    def test_fingerprints_match_across_interps(self):
+        config = _small()
+        digests = set()
+        for interp in ("fast", "reference"):
+            vm, _ = _run(config, interp=interp)
+            digests.add(
+                fingerprint_digest(final_fingerprint(vm, "completed"))
+            )
+        assert len(digests) == 1
+
+    def test_rerun_is_byte_identical(self):
+        config = _small()
+        a, _ = _run(config)
+        b, _ = _run(config)
+        assert fingerprint_digest(
+            final_fingerprint(a, "completed")
+        ) == fingerprint_digest(final_fingerprint(b, "completed"))
+
+
+class TestReport:
+    def test_latency_summary_nearest_rank(self):
+        samples = list(range(1, 101))
+        summary = latency_summary(samples)
+        assert summary["count"] == 100
+        assert summary["p50"] == 50
+        assert summary["p99"] == 99
+        assert summary["p999"] == 100
+        assert summary["max"] == 100
+        assert summary["mean"] == 50
+
+    def test_latency_summary_empty(self):
+        assert latency_summary([])["count"] == 0
+
+    def test_report_shape(self):
+        config = _small()
+        vm, storm = _run(config)
+        report = build_report(
+            vm, config, seed=SEED, mode="rollback",
+            outcome="completed", violations=[],
+            storm_events=storm.events, injected={},
+        )
+        assert report["format"] == "repro.server/1"
+        assert report["seed"] == f"0x{SEED:x}"
+        assert set(report["tiers"]) == {"gold", "bronze"}
+        for tier in report["tiers"].values():
+            assert tier["latency"]["count"] == tier["completed"]
+        assert "interp" not in json.dumps(report)
+        rb = report["robustness"]
+        assert set(rb) == {
+            "retry_budget_exhausted", "degradations_to_inheritance",
+            "degradations_to_nonrevocable", "starvations_detected",
+            "watchdog_trips",
+        }
+
+    def test_report_integers_only(self):
+        config = _small()
+        vm, storm = _run(config)
+        report = build_report(
+            vm, config, seed=SEED, mode="rollback",
+            outcome="completed", violations=[],
+            storm_events=storm.events, injected={},
+        )
+
+        def walk(node):
+            if isinstance(node, dict):
+                for v in node.values():
+                    walk(v)
+            elif isinstance(node, (list, tuple)):
+                for v in node:
+                    walk(v)
+            else:
+                assert not isinstance(node, float), node
+
+        walk(report)
