@@ -11,7 +11,8 @@ same guest program:
 
 * **block batching** — long straight-line arithmetic: one predecoded
   block per loop body, clock charged twice per block instead of per
-  instruction;
+  instruction (and, since superblock trace compilation, the whole loop
+  runs iterations back to back in one generated function);
 * **superinstructions** — compare+branch and constant-divisor div/mod
   fusions inside a branchy loop;
 * **dispatch** — the figure micro-benchmark (monitors, barriers,
@@ -55,9 +56,12 @@ def _recorded_speedup() -> float:
 
 
 def _threshold() -> float:
-    """Soft floor: at least 1.2x, and at least 40% of the recorded
-    full-suite speedup when a baseline is committed."""
-    return max(1.2, 0.4 * _recorded_speedup())
+    """Soft floor: at least 1.5x, and at least 50% of the recorded
+    full-suite speedup when a baseline is committed.  Raised from
+    (1.2x, 40%) once superblock trace compilation landed: the fused
+    paths below run whole loop iterations per Python call, so they must
+    clear a larger fraction of the suite-level speedup."""
+    return max(1.5, 0.5 * _recorded_speedup())
 
 
 def _time_vm(install, interp: str) -> float:
@@ -152,4 +156,4 @@ def test_dispatch_speed_on_figure_microbench() -> None:
         f"\n[interp-speed] dispatch(figure-microbench): reference={ref:.3f}s "
         f"fast={fast:.3f}s speedup={speedup:.2f}x"
     )
-    assert speedup >= max(1.1, 0.3 * _recorded_speedup())
+    assert speedup >= max(1.2, 0.35 * _recorded_speedup())

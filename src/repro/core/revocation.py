@@ -242,6 +242,31 @@ class RollbackSupport(RuntimeSupport):
             cost += self.vm.cost_model.barrier_slow
         return cost
 
+    def before_store_batch(self, thread, entries) -> int:
+        # Batched fast path: one log extend + metric bump for the whole
+        # run.  Equivalent to per-entry before_store because the thread's
+        # section stack cannot change between consecutive fused stores
+        # (monitor ops are never fused), so every entry sees the same
+        # ``thread.sections`` truth value and active tuple.
+        m = self.metrics
+        n = len(entries)
+        m.barrier_fast_hits += n
+        cm = self.vm.cost_model
+        cost = cm.barrier_fast * n
+        if thread.sections:
+            self._log(thread).extend(
+                (container, slot, old_value)
+                for container, slot, old_value, _ in entries
+            )
+            active = self._active_tuple(thread)
+            on_write = self.jmm.on_write
+            for container, slot, _, _ in entries:
+                on_write(thread, location_of(container, slot), active)
+            m.barrier_slow_hits += n
+            m.undo_entries_logged += n
+            cost += cm.barrier_slow * n
+        return cost
+
     def after_load(
         self, thread: "VMThread", container, slot, volatile: bool
     ) -> int:

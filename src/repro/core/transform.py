@@ -320,8 +320,17 @@ def elide_barriers(classdefs: Iterable[ClassDef]) -> int:
     for key, m in methods.items():
         if key in may_hold:
             continue
+        changed = 0
         for pc, ins in enumerate(m.code):
             if ins.barrier and not inside(key, pc):
                 ins.barrier = False
-                elided += 1
+                changed += 1
+        if changed:
+            # Elision mutates the code a compiled DecodedMethod closure
+            # may have baked in (barrier stores emit BS calls); a stale
+            # closure would keep charging the removed barriers.  Linking
+            # invalidates too, but predecode can legitimately run before
+            # elision (Inspector dumps, direct predecode_method calls).
+            m.invalidate_decoded()
+            elided += changed
     return elided

@@ -265,28 +265,31 @@ def _scenarios() -> list[Scenario]:
 
 
 # ---------------------------------------------------------------- running
-def _campaign_cell(item: tuple[str, int]) -> dict:
-    """Worker entry for one (scenario, seed) cell.
+def _campaign_cell(item: tuple[str, int, str]) -> dict:
+    """Worker entry for one (scenario, seed, interp) cell.
 
     Scenarios carry closures, so workers receive only the *name* and
     rebuild the scenario from :func:`_scenarios` — the registry is source
     code, hence identical in every process.
     """
-    name, seed = item
+    name, seed, interp = item
     scenario = {s.name: s for s in _scenarios()}[name]
-    return run_one(scenario, seed)
+    return run_one(scenario, seed, interp=interp)
 
 
-def _cell_key(item: tuple[str, int]) -> str:
+def _cell_key(item: tuple[str, int, str]) -> str:
     """Content address of one cell: identity + the repro source digest
-    (which covers the scenario definitions themselves)."""
+    (which covers the scenario definitions themselves).  ``interp`` is
+    part of the identity even though the fragment must be byte-identical
+    either way — a cached fast-engine result must never mask a
+    reference-engine repro (or vice versa)."""
     from repro.bench.parallel import cache_key, source_digest
 
-    name, seed = item
-    return cache_key("campaign-cell", name, seed, source_digest())
+    name, seed, interp = item
+    return cache_key("campaign-cell", name, seed, interp, source_digest())
 
 
-def run_one(scenario: Scenario, index: int) -> dict:
+def run_one(scenario: Scenario, index: int, *, interp: str = "fast") -> dict:
     """Run one (scenario, sweep-index) cell; returns its report fragment.
 
     The VM seed follows the repo-wide seed-namespace convention
@@ -297,6 +300,7 @@ def run_one(scenario: Scenario, index: int) -> dict:
     options = VMOptions(
         mode="rollback",
         seed=sweep_seed("campaign", scenario.name, index),
+        interp=interp,
         trace=False,
         audit_rollbacks=True,
         max_cycles=CYCLE_CAP,
@@ -331,7 +335,8 @@ def run_one(scenario: Scenario, index: int) -> dict:
 
 
 def run_campaign(
-    seeds: int, scenario_filter: str | None = None, *, engine=None
+    seeds: int, scenario_filter: str | None = None, *, engine=None,
+    interp: str = "fast",
 ) -> dict:
     """Sweep seeds x scenarios; returns the aggregated (and deterministic)
     campaign report.
@@ -351,7 +356,7 @@ def run_campaign(
         if not scenarios:
             raise SystemExit(f"unknown scenario {scenario_filter!r}")
     matrix = [
-        (scenario.name, seed)
+        (scenario.name, seed, interp)
         for scenario in scenarios
         for seed in range(1, seeds + 1)
     ]
@@ -394,14 +399,16 @@ def run_campaign(
     return report
 
 
-def replay_cell(scenario_name: str, seed_index: int) -> dict:
+def replay_cell(
+    scenario_name: str, seed_index: int, *, interp: str = "fast"
+) -> dict:
     """Re-run exactly one failed (scenario, seed) cell serially, no
     cache, no fan-out — the one-command reproduction path the campaign
     prints on stderr when a run fails."""
     scenario = {s.name: s for s in _scenarios()}.get(scenario_name)
     if scenario is None:
         raise SystemExit(f"unknown scenario {scenario_name!r}")
-    return run_one(scenario, seed_index)
+    return run_one(scenario, seed_index, interp=interp)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -418,6 +425,10 @@ def main(argv: list[str] | None = None) -> int:
         help="run only the named scenario",
     )
     parser.add_argument(
+        "--interp", default="fast", choices=["fast", "reference"],
+        help="interpreter engine (fragments are identical either way)",
+    )
+    parser.add_argument(
         "--jobs", type=int, default=None,
         help="worker processes (default REPRO_BENCH_JOBS or cpu count; "
              "1 = serial)",
@@ -432,7 +443,8 @@ def main(argv: list[str] | None = None) -> int:
     if args.replay is not None:
         if args.scenario is None:
             parser.error("--replay requires --scenario")
-        fragment = replay_cell(args.scenario, args.replay)
+        fragment = replay_cell(args.scenario, args.replay,
+                               interp=args.interp)
         print(json.dumps(fragment, indent=2, sort_keys=True))
         return 1 if fragment["violations"] else 0
     from repro.bench.parallel import RunEngine
@@ -440,18 +452,23 @@ def main(argv: list[str] | None = None) -> int:
     engine = RunEngine.from_env()
     if args.jobs is not None:
         engine = RunEngine(jobs=max(1, args.jobs), cache=engine.cache)
-    report = run_campaign(args.seeds, args.scenario, engine=engine)
+    report = run_campaign(args.seeds, args.scenario, engine=engine,
+                          interp=args.interp)
     print(json.dumps(report, indent=2, sort_keys=True))
     # stderr only: the stdout report must stay byte-identical across
     # jobs/cache settings (the campaign's determinism contract).
     print(engine.stats.render(), file=sys.stderr)
     for failure in report["failures"]:
-        # one copy-pastable reproduction command per failed cell, with
-        # the exact VM seed it will run under
+        # one copy-pastable reproduction command per failed cell that
+        # round-trips every flag shaping the cell (scenario, seed index,
+        # interpreter engine), with the exact VM seed it will run under.
+        # --jobs/--seeds are deliberately absent: the replay is serial
+        # and the cell is a pure function of (scenario, seed, interp).
         print(
             "REPLAY: PYTHONPATH=src python -m repro.faults.campaign "
             f"--scenario {failure['scenario']} "
-            f"--replay {failure['seed_index']}"
+            f"--replay {failure['seed_index']} "
+            f"--interp {args.interp}"
             f"  # vm seed {failure['vm_seed']}",
             file=sys.stderr,
         )

@@ -123,6 +123,16 @@ class FaultPlane:
         cap = self.plan.max_injections
         return bool(cap) and self.total >= cap
 
+    def yield_quiet(self) -> bool:
+        """True when :meth:`on_yield_point` is currently a pure no-op — it
+        would neither draw from the RNG nor inject.  The superblock
+        dispatch guard consults this before fusing across yield points:
+        while it holds, skipping the per-yield-point probe entirely is
+        unobservable.  Exhaustion can only flip this between superblock
+        entries (injections happen outside fused code), never during one.
+        """
+        return self.plan.guest_exception_rate <= 0.0 or self._exhausted()
+
     def _record(self, kind: str, thread: "VMThread | None") -> None:
         self.counts[kind] = self.counts.get(kind, 0) + 1
         self.total += 1

@@ -238,6 +238,22 @@ class ProfilingSupport:
                 self.profiler.note_mechanism(thread, "barrier", cost)
         return cost
 
+    def before_store_batch(self, thread, entries):
+        # Explicit wrapper (``__getattr__`` delegation would silently skip
+        # attribution): same fast/slow split as before_store, applied to
+        # the whole run at once so totals match the per-entry path.
+        cost = self.inner.before_store_batch(thread, entries)
+        if cost:
+            fast = self.inner.vm.cost_model.barrier_fast * len(entries)
+            if cost > fast:
+                self.profiler.note_mechanism(thread, "barrier", fast)
+                self.profiler.note_mechanism(
+                    thread, "undo_log", cost - fast
+                )
+            else:
+                self.profiler.note_mechanism(thread, "barrier", cost)
+        return cost
+
     def after_load(self, thread, container, slot, volatile):
         cost = self.inner.after_load(thread, container, slot, volatile)
         self.profiler.note_mechanism(thread, "barrier", cost)

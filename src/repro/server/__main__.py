@@ -9,6 +9,13 @@ Examples::
     python -m repro.server --preset chaos-smoke --chaos --jobs 4
     python -m repro.server --preset baseline --compare
     python -m repro.server --preset chaos-smoke --inject-bug undo-drop
+    python -m repro.server --preset storm --chaos --replay 2
+
+When a sweep fails, one ``REPLAY:`` line per offending cell goes to
+stderr — a copy-pastable command that round-trips every flag shaping
+that cell (preset, requests, mode, interp, chaos, inject-bug, profile)
+plus ``--replay INDEX``, which re-runs exactly that cell serially and
+uncached with the same per-cell exit semantics.
 
 Cells fan out through the bench :class:`~repro.bench.parallel.RunEngine`
 (``--jobs`` / ``REPRO_BENCH_JOBS``) with content-addressed caching.
@@ -92,6 +99,12 @@ def _parser() -> argparse.ArgumentParser:
         help="skip the on-disk result cache for this invocation",
     )
     parser.add_argument(
+        "--replay", type=int, default=None, metavar="INDEX",
+        help="re-run exactly one sweep-index cell serially, no cache, "
+             "no fan-out, and print its report (the reproduction path "
+             "printed on stderr when a sweep fails)",
+    )
+    parser.add_argument(
         "--list", action="store_true",
         help="list preset names and exit",
     )
@@ -120,22 +133,52 @@ def _cmd_list() -> int:
     return 0
 
 
+def _spec(args, index: int) -> ServerSpec:
+    """The ServerSpec of sweep cell ``index`` under these arguments."""
+    return ServerSpec(
+        preset=args.preset,
+        requests=args.requests,
+        seed_index=index,
+        mode=args.mode,
+        interp=args.interp,
+        chaos=args.chaos,
+        inject_bug=args.inject_bug,
+        profile=args.profile,
+    )
+
+
+def _replay_command(args, index: int) -> str:
+    """One-command reproduction line for sweep cell ``index``.
+
+    Round-trips every flag that shapes the cell — preset, request
+    rescale, mode, interpreter engine, chaos plan, seeded defect,
+    profiler — so executing the emitted command verbatim re-runs the
+    exact failing :class:`ServerSpec`.  ``--jobs``/``--seeds``/
+    ``--no-cache`` are absent by design: the replay is serial and
+    uncached, and each cell is a pure function of its spec.
+    """
+    parts = [
+        "REPLAY: PYTHONPATH=src python -m repro.server",
+        f"--preset {args.preset}",
+    ]
+    if args.requests:
+        parts.append(f"--requests {args.requests}")
+    parts.append(f"--mode {args.mode}")
+    parts.append(f"--interp {args.interp}")
+    if args.chaos:
+        parts.append("--chaos")
+    if args.inject_bug:
+        parts.append(f"--inject-bug {args.inject_bug}")
+    if args.profile:
+        parts.append("--profile")
+    parts.append(f"--replay {index}")
+    return " ".join(parts)
+
+
 def run_sweep(args) -> dict:
     """Run the sweep and assemble the aggregate report (pure function of
     the arguments; fan-out and caching are invisible in the output)."""
-    specs = [
-        ServerSpec(
-            preset=args.preset,
-            requests=args.requests,
-            seed_index=index,
-            mode=args.mode,
-            interp=args.interp,
-            chaos=args.chaos,
-            inject_bug=args.inject_bug,
-            profile=args.profile,
-        )
-        for index in range(1, args.seeds + 1)
-    ]
+    specs = [_spec(args, index) for index in range(1, args.seeds + 1)]
     if args.compare:
         specs += [
             ServerSpec(
@@ -182,6 +225,15 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_list()
     if args.requests and args.requests < len(get_preset(args.preset).tiers):
         _parser().error("--requests must cover at least one per tier")
+    if args.replay is not None:
+        # serial, uncached, single-cell reproduction path: same spec
+        # fields as the sweep, same per-cell pass/fail semantics
+        run = run_server_cell(_spec(args, args.replay))
+        print(json.dumps(run, indent=2, sort_keys=True))
+        detected = bool(run["violations"])
+        if args.inject_bug:
+            return 0 if detected else 1
+        return 1 if detected else 0
     report = run_sweep(args)
     if args.json:
         print(json.dumps(report, indent=2, sort_keys=True))
@@ -197,6 +249,20 @@ def main(argv: list[str] | None = None) -> int:
             f"{report['seeds']} run(s), "
             f"{report['violations']} violation(s)"
         )
+    # one copy-pastable reproduction command per offending cell: runs
+    # that violated invariants — or, under the negative control, runs
+    # that failed to detect the seeded defect
+    for index, run in enumerate(report["runs"], start=1):
+        failed = (
+            not run["violations"] if args.inject_bug
+            else bool(run["violations"])
+        )
+        if failed:
+            print(
+                f"{_replay_command(args, index)}"
+                f"  # vm seed {run['seed']}",
+                file=sys.stderr,
+            )
     detected = report["violations"] > 0
     if args.inject_bug:
         # negative control: the seeded defect MUST be caught

@@ -36,11 +36,18 @@ ROBUSTNESS_KEYS = (
 )
 
 
-def latency_summary(samples: list[int]) -> dict[str, int]:
-    """p50/p99/p999/max/mean of an (unsorted) integer latency sample."""
+def latency_summary(samples: list[int]) -> dict[str, Any]:
+    """p50/p99/p999/max/mean of an (unsorted) integer latency sample.
+
+    An empty sample — a fully-shed or fully-dropped tier completed no
+    request, so there is no latency to report — yields the explicit
+    ``None`` sentinel (``null`` in JSON, ``-`` in rendered tables) for
+    every percentile.  A ``0`` here would read as "instant responses",
+    the exact opposite of a tier that served nothing.
+    """
     if not samples:
-        return {"count": 0, "p50": 0, "p99": 0, "p999": 0, "max": 0,
-                "mean": 0}
+        return {"count": 0, "p50": None, "p99": None, "p999": None,
+                "max": None, "mean": None}
     s = sorted(samples)
     return {
         "count": len(s),
@@ -143,6 +150,11 @@ def build_report(
     }
 
 
+def _cell(value: Any) -> Any:
+    """Table cell for a possibly-absent statistic (``None`` -> ``-``)."""
+    return "-" if value is None else value
+
+
 def render_report(report: dict[str, Any]) -> str:
     """Human-readable per-tier table of one run's report."""
     lines = [
@@ -164,7 +176,8 @@ def render_report(report: dict[str, Any]) -> str:
             f"{name:<10} {t['priority']:>4} {t['requests']:>7} "
             f"{t['completed']:>7} {t['shed']:>6} {t['timeouts']:>6} "
             f"{t['retries']:>6} {t['dropped']:>6} {t['errors']:>4} "
-            f"{lat['p50']:>8} {lat['p99']:>8} {lat['p999']:>8} "
+            f"{_cell(lat['p50']):>8} {_cell(lat['p99']):>8} "
+            f"{_cell(lat['p999']):>8} "
             f"{t['goodput_per_mcycle']:>8}"
         )
     rb = report["robustness"]

@@ -195,6 +195,14 @@ def is_store(op: int) -> bool:
     return op in _STORE_OPS
 
 
+def is_backward_branch(ins: "Instruction", pc: int) -> bool:
+    """True when ``ins`` at ``pc`` is a resolved branch to ``pc`` or
+    earlier.  The linker marks exactly these as yield points (loop
+    back-edges), and the trace compiler anchors superblocks on the
+    unconditional ones."""
+    return ins.op in _BRANCH_OPS and isinstance(ins.a, int) and ins.a <= pc
+
+
 # --- predecode classification ------------------------------------------------
 # The fast interpreter (repro.vm.predecode / repro.vm.fastinterp) fuses
 # straight-line runs of these opcodes into compiled basic-block

@@ -126,6 +126,22 @@ class VirtualClock:
             self.listener(cycles)
         return self.now
 
+    def commit_batch(self, cycles: int, events: int) -> int:
+        """Fold a superblock's accumulated flushes into the clock at once.
+
+        Equivalent to the ``events`` separate :meth:`advance` calls a
+        block-at-a-time execution would have made summing to ``cycles``
+        (the trace compiler tracks both exactly).  Callers must ensure no
+        ``listener`` is attached — the superblock dispatch guard refuses
+        to enter fused code when one is installed, because a listener
+        needs the individual per-flush deltas.
+        """
+        if cycles < 0 or events < 0:
+            raise ValueError("cannot commit a negative batch")
+        self.now += cycles
+        self._events += events
+        return self.now
+
     def advance_to(self, time: int) -> int:
         """Jump forward to ``time`` (used when all threads are asleep)."""
         if time > self.now:

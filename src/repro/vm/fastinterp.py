@@ -56,11 +56,11 @@ from repro.vm.threads import Frame, SavedState, ThreadState, VMThread
 class FastInterpreter(Interpreter):
     """Reference semantics + predecoded basic-block dispatch."""
 
-    def _blocks_for(self, method):
+    def _decoded_for(self, method):
         dm = method.__dict__.get("_decoded")
         if dm is None:
             dm = predecode_method(self.vm, method)
-        return dm.blocks
+        return dm
 
     # NOTE: this is the reference Interpreter._execute loop with the block
     # preamble inserted at the top of the dispatch; every chain arm below
@@ -80,12 +80,17 @@ class FastInterpreter(Interpreter):
         faults = vm.fault_plane
         profiler = vm.profiler
         F = [0]  # fault cell: pc of the op a block was executing when it raised
-        A = [0]  # dynamic-cost cell: barrier cycles accrued inside a block
+        # dynamic-cost cells: A[0] carries barrier cycles accrued inside a
+        # block; superblocks use both cells to hand back the partial
+        # iteration's unflushed (cycles, instructions) on a trace exit.
+        A = [0, 0]
 
         while True:  # outer loop: re-entered on frame switch / exceptions
             frame = thread.frames[-1]
             code = frame.code
-            blocks = self._blocks_for(frame.method)
+            dm = self._decoded_for(frame.method)
+            blocks = dm.blocks
+            supers = dm.superblocks
             pc = frame.pc
             stack = frame.stack
             locals_ = frame.locals
@@ -168,6 +173,44 @@ class FastInterpreter(Interpreter):
                             or thread.preempt_requested
                             or pending_wake() <= clock.now
                         ):
+                            frame.pc = pc
+                            thread.preempt_requested = False
+                            return PREEMPTED
+
+                        # -------------------- superblock trace dispatch
+                        # Entered only once every hoisted yield-point
+                        # check is provably constant for the whole run
+                        # (see repro.vm.tracecomp); the accumulators are
+                        # zero here (just flushed), so the trace owns all
+                        # charging until it hands back through A/F.
+                        sb = supers[pc]
+                        if (
+                            sb is not None
+                            and thread.revocation_request is None
+                            and profiler is None
+                            and clock.listener is None
+                            and (faults is None or faults.yield_quiet())
+                        ):
+                            try:
+                                r = sb.fn(stack, locals_, F, A, thread,
+                                          pending_wake())
+                            except GuestRuntimeError:
+                                # completed iterations are committed; the
+                                # partial one continues as if the chain
+                                # had been accumulating it all along.
+                                acc = A[0]
+                                icount = A[1]
+                                pc = F[0]
+                                raise
+                            if r >= 0:
+                                # branch out of the loop: resume normal
+                                # dispatch at the exit target with the
+                                # partial iteration's unflushed charges.
+                                acc = A[0]
+                                icount = A[1]
+                                pc = r
+                                continue
+                            # preemption or due wake-up at the back edge
                             frame.pc = pc
                             thread.preempt_requested = False
                             return PREEMPTED

@@ -11,6 +11,15 @@ static cycle cost and instruction count, so the interpreter charges a
 whole block with two additions instead of one dispatch per instruction
 (*basic-block cost batching*).
 
+The entire method — every basic block plus the superblocks the trace
+compiler (:mod:`repro.vm.tracecomp`) forms over its loops — is generated
+as one Python module source and compiled in a single ``compile``/``exec``
+pass (*method-level translation*).  The compiled code is keyed to the
+per-VM :class:`MethodDef` copy together with its inline-cache cells, and
+``MethodDef.invalidate_decoded`` drops blocks, superblocks, caches and
+constant pool as one unit — there is no path on which a stale closure can
+outlive a mutation of ``method.code``.
+
 Semantics preservation is the hard requirement: the reference interpreter
 (:class:`repro.vm.interpreter.Interpreter`) is the oracle and the parity
 suite (``tests/test_interp_parity.py``) asserts byte-identical virtual
@@ -38,6 +47,12 @@ invariants that make this safe:
   ``VMObject.get/put``, ``Heap.get_static/put_static``,
   ``support.after_load/before_store`` — with per-site monomorphic inline
   cache cells replacing the reference's ``ins.c`` caches.
+* Runs of consecutive barrier stores with no intervening raising op or
+  read barrier are appended through one
+  ``support.before_store_batch`` call (*batched write barriers*); the
+  heap mutations themselves stay in place, only the logging/costing calls
+  coalesce, and the batch is flushed before every point at which its
+  effects could be observed (fault sites, read barriers, block exits).
 
 Superinstruction patterns recognised during code generation:
 
@@ -58,7 +73,7 @@ from __future__ import annotations
 
 from typing import Any, Optional
 
-from repro.errors import GuestRuntimeError
+from repro.errors import GuestRuntimeError, StarvationError
 from repro.vm import bytecode as bc
 from repro.vm.classfile import MethodDef
 from repro.vm.heap import require_ref
@@ -177,7 +192,8 @@ class BasicBlock:
         self.cost = cost
         #: number of guest instructions in the run
         self.count = count
-        #: ``fn(stack, locals_, F, A, T) -> next pc``
+        #: ``fn(stack, locals_, F, A, T) -> next pc`` (bound by the
+        #: method-level compile after all sources are collected)
         self.fn = fn
         #: True when the block accrues dynamic barrier cycles into ``A[0]``
         self.dynamic = dynamic
@@ -203,22 +219,29 @@ class DecodedMethod:
 
     ``blocks`` is indexed by pc: ``blocks[pc]`` is the :class:`BasicBlock`
     starting at ``pc`` or ``None`` when that pc executes through the
-    interpreter's dispatch chain.  Missing blocks are always safe — the
-    fast interpreter retains the full reference chain as its fallback, so
-    predecode coverage affects speed only, never behaviour.
+    interpreter's dispatch chain.  ``superblocks`` is likewise indexed by
+    pc: ``superblocks[pc]`` is the :class:`~repro.vm.tracecomp.SuperBlock`
+    anchored at the backward-GOTO yield point ``pc``, or ``None``.
+    Missing blocks/superblocks are always safe — the fast interpreter
+    retains the full reference chain as its fallback, so predecode
+    coverage affects speed only, never behaviour.
     """
 
     __slots__ = ("method", "blocks", "block_list", "superinstructions",
-                 "fused_instructions")
+                 "fused_instructions", "superblocks", "superblock_list")
 
     def __init__(self, method: MethodDef, blocks: list,
-                 superinstructions: dict):
+                 superinstructions: dict, superblocks: Optional[list] = None):
         self.method = method
         self.blocks = blocks
         self.block_list = [b for b in blocks if b is not None]
         #: pattern name -> number of fusions applied
         self.superinstructions = superinstructions
         self.fused_instructions = sum(b.count for b in self.block_list)
+        if superblocks is None:
+            superblocks = [None] * len(blocks)
+        self.superblocks = superblocks
+        self.superblock_list = [s for s in superblocks if s is not None]
 
 
 def invalidate(method: MethodDef) -> None:
@@ -307,9 +330,373 @@ def _fusable(ins, fuse_heap: bool) -> bool:
     return True
 
 
+# -------------------------------------------------------------- code gen
+class _Emitter:
+    """Symbolic-stack code generator shared by the basic-block compiler
+    and the superblock trace compiler (:mod:`repro.vm.tracecomp`).
+
+    Two modes, differing only in cost accounting:
+
+    ``"block"``
+        Dynamic barrier/read-barrier cycles accrue into the ``A[0]`` side
+        cell; static costs are *not* emitted — the interpreter charges
+        the block's precomputed total up front and repairs faults through
+        the suffix arrays.
+
+    ``"super"``
+        Static costs are charged lazily: accumulated at codegen time into
+        ``pending_cost``/``pending_count`` and flushed into the generated
+        ``acc``/``ic`` locals before any op that can raise (including
+        that op's own cost, mirroring the reference's charge-before-
+        execute order), at control-flow splits, and at iteration
+        boundaries.  ``acc``/``ic`` therefore hold exactly the reference
+        interpreter's unflushed accumulators at every point a guest
+        exception can escape, with no repair table needed.  Dynamic
+        cycles accrue into ``acc`` directly.
+
+    In both modes consecutive barrier stores batch into one deferred
+    ``before_store_batch`` call, flushed before any observation point.
+    """
+
+    def __init__(self, owner: "_Predecoder", mode: str):
+        self.owner = owner
+        self.mode = mode
+        self.acc = "A[0]" if mode == "block" else "acc"
+        self.lines: list[str] = []
+        self.sym: list[_Sym] = []
+        self.indent = 1
+        self.tmp = 0
+        self.raising = False
+        self.dynamic = False
+        self.pending_cost = 0
+        self.pending_count = 0
+        #: deferred (container, slot, old_value, volatile) expression
+        #: 4-tuples for the batched write-barrier call
+        self.batch: list[tuple[str, str, str, str]] = []
+
+    # ------------------------------------------------------------ plumbing
+    def emit(self, line: str) -> None:
+        self.lines.append("    " * self.indent + line)
+
+    def newtmp(self) -> str:
+        name = f"t{self.tmp}"
+        self.tmp += 1
+        return name
+
+    def pop(self) -> _Sym:
+        if self.sym:
+            return self.sym.pop()
+        t = self.newtmp()
+        self.emit(f"{t} = stack.pop()")
+        return _Sym(t)
+
+    def push(self, entry: _Sym) -> None:
+        self.sym.append(entry)
+
+    def push_tmp(self, expr: str) -> str:
+        """Evaluate ``expr`` into a temp now; push the temp."""
+        t = self.newtmp()
+        self.emit(f"{t} = {expr}")
+        self.sym.append(_Sym(t))
+        return t
+
+    def spill(self, local: int) -> None:
+        """Materialise symbolic entries that read local ``local``."""
+        for e in self.sym:
+            if local in e.deps:
+                t = self.newtmp()
+                self.emit(f"{t} = {e.expr}")
+                e.expr = t
+                e.deps = ()
+                e.val = _NOVAL
+
+    def flush_stack(self) -> None:
+        if not self.sym:
+            return
+        if len(self.sym) == 1:
+            self.emit(f"stack.append({self.sym[0].expr})")
+        else:
+            exprs = ", ".join(e.expr for e in self.sym)
+            self.emit(f"stack.extend(({exprs}))")
+        del self.sym[:]
+
+    # ------------------------------------------------------------- costing
+    def charge(self, ins) -> None:
+        """Accumulate ``ins``'s static cost (superblock mode only; block
+        costs are charged by the interpreter from the block totals)."""
+        if self.mode == "super":
+            self.pending_cost += ins.cost
+            self.pending_count += 1
+
+    def flush_charges(self) -> None:
+        """Emit the pending static charges into ``acc``/``ic``."""
+        if self.pending_cost or self.pending_count:
+            if self.pending_cost:
+                self.emit(f"acc += {self.pending_cost}")
+            self.emit(f"ic += {self.pending_count}")
+            self.pending_cost = 0
+            self.pending_count = 0
+
+    def flush_batch(self) -> None:
+        """Emit the deferred write-barrier batch (one call, in order)."""
+        batch = self.batch
+        if not batch:
+            return
+        self.dynamic = True
+        if len(batch) == 1:
+            c, s, o, v = batch[0]
+            self.emit(f"{self.acc} += BS(T, {c}, {s}, {o}, {v})")
+        else:
+            entries = ", ".join(
+                f"({c}, {s}, {o}, {v})" for c, s, o, v in batch
+            )
+            self.emit(f"{self.acc} += BSB(T, ({entries}))")
+        del batch[:]
+
+    def barrier_store(self, container: str, slot: str, old: str,
+                      volatile: str) -> None:
+        self.batch.append((container, slot, old, volatile))
+
+    def read_barrier(self, container: str, slot: str, volatile: str) -> None:
+        self.flush_batch()  # keep jmm write/read ordering exact
+        self.dynamic = True
+        self.emit(f"{self.acc} += AL(T, {container}, {slot}, {volatile})")
+
+    def set_fault(self, pc: int) -> None:
+        """Mark ``pc`` as the next possible guest-fault site.
+
+        Flushes the barrier batch (the reference has already run those
+        barriers when this op raises) and, in superblock mode, the
+        pending static charges *including this op's own cost* — matching
+        the reference's charge-before-execute order, so ``acc``/``ic``
+        are exact at the raise."""
+        self.flush_batch()
+        if self.mode == "super":
+            self.flush_charges()
+        self.raising = True
+        self.emit(f"F[0] = {pc}")
+
+    # --------------------------------------------------------- cache cells
+    def field_cache(self, obj_var: str, name_expr: str) -> str:
+        """Monomorphic inline cache mirroring ``_field_def``."""
+        j = self.owner._cell()
+        cv = self.newtmp()
+        self.emit(f"{cv} = C[{j}]")
+        self.emit(
+            f"if {cv} is None or {cv}[0] is not {obj_var}.classdef:"
+        )
+        self.emit(
+            f"    {cv} = ({obj_var}.classdef, "
+            f"{obj_var}.classdef.field({name_expr}))"
+        )
+        self.emit(f"    C[{j}] = {cv}")
+        return cv
+
+    def static_cache(self, key_ref: str) -> str:
+        j = self.owner._cell()
+        cv = self.newtmp()
+        self.emit(f"{cv} = C[{j}]")
+        self.emit(f"if {cv} is None:")
+        self.emit(f"    {cv} = SD(*{key_ref})")
+        self.emit(f"    C[{j}] = {cv}")
+        return cv
+
+    # -------------------------------------------------------------- opcodes
+    def emit_op(self, pc: int, ins) -> None:
+        """Generate code for one non-branch fusable op.
+
+        Branches (and comparisons fused into them) are control flow and
+        stay with the drivers: the block compiler turns them into
+        ``return`` terminators, the superblock structurizer into nested
+        ``if`` statements.
+        """
+        op = ins.op
+        owner = self.owner
+
+        if op == bc.CONST:
+            expr, val = owner._const_expr(ins.a)
+            self.push(_Sym(expr, (), val))
+        elif op == bc.LOAD:
+            self.push(_Sym(f"locals_[{ins.a}]", (ins.a,)))
+        elif op == bc.STORE:
+            fused = bool(self.sym)
+            v = self.pop()
+            self.spill(ins.a)
+            self.emit(f"locals_[{ins.a}] = {v.expr}")
+            if fused:
+                owner._bump("alu+store")
+        elif op == bc.IINC:
+            self.spill(ins.a)
+            self.emit(f"locals_[{ins.a}] += {ins.b}")
+        elif op == bc.DUP:
+            if self.sym:
+                top = self.sym[-1]
+                self.push(_Sym(top.expr, top.deps, top.val))
+            else:
+                t = self.newtmp()
+                self.emit(f"{t} = stack[-1]")
+                self.push(_Sym(t))
+        elif op == bc.POP:
+            if self.sym:
+                self.sym.pop()
+            else:
+                self.emit("del stack[-1]")
+        elif op == bc.SWAP:
+            a = self.pop()
+            b_ = self.pop()
+            self.push(a)
+            self.push(b_)
+        elif op == bc.NOP:
+            pass
+        elif op in _BIN_EXPR:
+            b_ = self.pop()
+            a = self.pop()
+            self.push_tmp(f"({a.expr}) {_BIN_EXPR[op]} ({b_.expr})")
+        elif op == bc.NEG:
+            v = self.pop()
+            self.push_tmp(f"-({v.expr})")
+        elif op == bc.NOT:
+            v = self.pop()
+            self.push_tmp(f"0 if ({v.expr}) else 1")
+        elif op in _CMP_EXPR or op == bc.EQ or op == bc.NE:
+            b_ = self.pop()
+            a = self.pop()
+            if op in _CMP_EXPR:
+                cond = f"({a.expr}) {_CMP_EXPR[op]} ({b_.expr})"
+                negated = False
+            else:
+                cond = f"GEQ({a.expr}, {b_.expr})"
+                negated = op == bc.NE
+            if negated:
+                self.push_tmp(f"0 if {cond} else 1")
+            else:
+                self.push_tmp(f"1 if {cond} else 0")
+        elif op == bc.DIV or op == bc.MOD:
+            b_ = self.pop()
+            a = self.pop()
+            helper = "MOD" if op == bc.MOD else "DIV"
+            if (b_.val is not _NOVAL and isinstance(b_.val, int)
+                    and b_.val != 0):
+                suffix = "P" if b_.val > 0 else "C"
+                self.push_tmp(f"{helper}{suffix}({a.expr}, {b_.expr})")
+                owner._bump("const+mod" if op == bc.MOD else "const+div")
+            else:
+                self.set_fault(pc)
+                self.push_tmp(f"{helper}V({a.expr}, {b_.expr})")
+        elif op == bc.TID:
+            self.push(_Sym("T.tid"))
+
+        # ---------------------------------------------------- heap ops
+        elif op == bc.GETFIELD:
+            o = self.pop()
+            self.set_fault(pc)
+            to = self.newtmp()
+            self.emit(f"{to} = RR({o.expr}, 'object')")
+            name_expr, _ = self.owner._const_expr(ins.a)
+            cv = self.field_cache(to, name_expr)
+            self.push_tmp(f"{to}.get({name_expr})")
+            if owner.read_barriers:
+                self.read_barrier(to, name_expr, f"{cv}[1].volatile")
+        elif op == bc.PUTFIELD:
+            v = self.pop()
+            o = self.pop()
+            self.set_fault(pc)
+            to = self.newtmp()
+            self.emit(f"{to} = RR({o.expr}, 'object')")
+            name_expr, _ = self.owner._const_expr(ins.a)
+            cv = self.field_cache(to, name_expr)
+            if ins.barrier:
+                told = self.newtmp()
+                self.emit(f"{told} = {to}.put({name_expr}, {v.expr})")
+                self.barrier_store(to, name_expr, told,
+                                   f"{cv}[1].volatile")
+            else:
+                self.emit(f"{to}.put({name_expr}, {v.expr})")
+        elif op == bc.ALOAD:
+            idx = self.pop()
+            arr = self.pop()
+            self.set_fault(pc)
+            ta = self.newtmp()
+            self.emit(f"{ta} = RR({arr.expr}, 'array')")
+            if owner.read_barriers:
+                # the index expression is evaluated twice (get + AL);
+                # pin it so both reads agree even for locals_ exprs
+                ti = self.newtmp()
+                self.emit(f"{ti} = {idx.expr}")
+                self.push_tmp(f"{ta}.get({ti})")
+                self.read_barrier(ta, ti, "False")
+            else:
+                self.push_tmp(f"{ta}.get({idx.expr})")
+        elif op == bc.ASTORE:
+            v = self.pop()
+            idx = self.pop()
+            arr = self.pop()
+            self.set_fault(pc)
+            ta = self.newtmp()
+            self.emit(f"{ta} = RR({arr.expr}, 'array')")
+            if ins.barrier:
+                ti = self.newtmp()
+                self.emit(f"{ti} = {idx.expr}")
+                told = self.newtmp()
+                self.emit(f"{told} = {ta}.put({ti}, {v.expr})")
+                self.barrier_store(ta, ti, told, "False")
+            else:
+                self.emit(f"{ta}.put({idx.expr}, {v.expr})")
+        elif op == bc.GETSTATIC:
+            key_ref = owner._kref(ins.a)
+            cv = self.static_cache(key_ref)
+            self.push_tmp(f"GS({key_ref})")
+            if owner.read_barriers:
+                self.read_barrier(key_ref, f"{key_ref}[1]",
+                                  f"{cv}.volatile")
+        elif op == bc.PUTSTATIC:
+            v = self.pop()
+            key_ref = owner._kref(ins.a)
+            cv = self.static_cache(key_ref)
+            if ins.barrier:
+                told = self.newtmp()
+                self.emit(f"{told} = PS({key_ref}, {v.expr})")
+                self.barrier_store(key_ref, f"{key_ref}[1]", told,
+                                   f"{cv}.volatile")
+            else:
+                self.emit(f"PS({key_ref}, {v.expr})")
+        elif op == bc.ARRAYLEN:
+            arr = self.pop()
+            self.set_fault(pc)
+            ta = self.newtmp()
+            self.emit(f"{ta} = RR({arr.expr}, 'array')")
+            self.push_tmp(f"len({ta})")
+        elif op == bc.NEW:
+            j = owner._cell()
+            cv = self.newtmp()
+            name_expr, _ = owner._const_expr(ins.a)
+            self.emit(f"{cv} = C[{j}]")
+            self.emit(f"if {cv} is None:")
+            self.emit(f"    {cv} = CDEF({name_expr})")
+            self.emit(f"    C[{j}] = {cv}")
+            self.push_tmp(f"ALLOC({cv})")
+        elif op == bc.NEWARRAY:
+            length = self.pop()
+            self.set_fault(pc)
+            fill_expr, _ = owner._const_expr(ins.a)
+            self.push_tmp(f"NEWA({length.expr}, {fill_expr})")
+        elif op == bc.CLASSREF:
+            j = owner._cell()
+            cv = self.newtmp()
+            name_expr, _ = owner._const_expr(ins.a)
+            self.emit(f"{cv} = C[{j}]")
+            self.emit(f"if {cv} is None:")
+            self.emit(f"    {cv} = CLSO({name_expr})")
+            self.emit(f"    C[{j}] = {cv}")
+            self.push(_Sym(cv))
+        else:  # pragma: no cover - drivers filter non-fusable ops
+            raise AssertionError(f"non-fusable op {op} in run")
+
+
 # -------------------------------------------------------------- compiler
 class _Predecoder:
-    """Compiles one method's fusable runs into block closures."""
+    """Compiles one method's fusable runs into block closures and its
+    eligible loops into superblocks, in one module-level compile."""
 
     def __init__(self, vm, method: MethodDef):
         self.vm = vm
@@ -354,15 +741,41 @@ class _Predecoder:
             "CDEF": vm.classdef,
             "AL": support.after_load,
             "BS": support.before_store,
+            "BSB": support.before_store_batch,
+            "CLK": vm.clock,
+            "SERR": StarvationError,
+            "GRE": GuestRuntimeError,
         }
 
     def build(self) -> DecodedMethod:
+        from repro.vm.tracecomp import compile_superblocks
+
         method = self.method
-        blocks: list[Optional[BasicBlock]] = [None] * len(method.code)
+        n = len(method.code)
+        blocks: list[Optional[BasicBlock]] = [None] * n
         leaders = find_leaders(method)
         for start, end in find_runs(method, leaders, self.fuse_heap):
             blocks[start] = self._compile(start, end)
-        return DecodedMethod(method, blocks, self.stats)
+        superblocks: list = [None] * n
+        for sb in compile_superblocks(self):
+            superblocks[sb.anchor] = sb
+        # Method-level translation: every block and superblock compiles in
+        # one module-sized pass, so the whole method's generated code
+        # shares one constant pool + cache-cell array and is dropped as
+        # one unit by MethodDef.invalidate_decoded.
+        sources = [b.source for b in blocks if b is not None]
+        sources.extend(s.source for s in superblocks if s is not None)
+        if sources:
+            module = "\n".join(sources)
+            filename = f"<decoded {method.qualified_name()}>"
+            exec(compile(module, filename, "exec"), self.ns)
+            for b in blocks:
+                if b is not None:
+                    b.fn = self.ns.pop(f"_b{b.start}")
+            for s in superblocks:
+                if s is not None:
+                    s.fn = self.ns.pop(f"_s{s.anchor}")
+        return DecodedMethod(method, blocks, self.stats, superblocks)
 
     # ---------------------------------------------------------- plumbing
     def _kref(self, value: Any) -> str:
@@ -389,334 +802,79 @@ class _Predecoder:
     # ------------------------------------------------------------- codegen
     def _compile(self, start: int, end: int) -> BasicBlock:
         code = self.method.code
-        lines: list[str] = []
-        sym: list[_Sym] = []
-        state = {"tmp": 0, "raising": False, "dynamic": False}
+        em = _Emitter(self, "block")
 
-        def newtmp() -> str:
-            name = f"t{state['tmp']}"
-            state["tmp"] += 1
-            return name
-
-        def pop() -> _Sym:
-            if sym:
-                return sym.pop()
-            t = newtmp()
-            lines.append(f"{t} = stack.pop()")
-            return _Sym(t)
-
-        def push(entry: _Sym) -> None:
-            sym.append(entry)
-
-        def push_tmp(expr: str) -> str:
-            """Evaluate ``expr`` into a temp now; push the temp."""
-            t = newtmp()
-            lines.append(f"{t} = {expr}")
-            sym.append(_Sym(t))
-            return t
-
-        def spill(local: int) -> None:
-            """Materialise symbolic entries that read local ``local``."""
-            for e in sym:
-                if local in e.deps:
-                    t = newtmp()
-                    lines.append(f"{t} = {e.expr}")
-                    e.expr = t
-                    e.deps = ()
-                    e.val = _NOVAL
-
-        def flush_stack() -> None:
-            if not sym:
-                return
-            if len(sym) == 1:
-                lines.append(f"stack.append({sym[0].expr})")
-            else:
-                exprs = ", ".join(e.expr for e in sym)
-                lines.append(f"stack.extend(({exprs}))")
-            del sym[:]
-
-        def set_fault(pc: int) -> None:
-            state["raising"] = True
-            lines.append(f"F[0] = {pc}")
-
-        def field_cache(obj_var: str, name_expr: str) -> str:
-            """Monomorphic inline cache mirroring ``_field_def``."""
-            j = self._cell()
-            cv = newtmp()
-            lines.append(f"{cv} = C[{j}]")
-            lines.append(
-                f"if {cv} is None or {cv}[0] is not {obj_var}.classdef:"
-            )
-            lines.append(
-                f"    {cv} = ({obj_var}.classdef, "
-                f"{obj_var}.classdef.field({name_expr}))"
-            )
-            lines.append(f"    C[{j}] = {cv}")
-            return cv
-
-        def static_cache(key_ref: str) -> str:
-            j = self._cell()
-            cv = newtmp()
-            lines.append(f"{cv} = C[{j}]")
-            lines.append(f"if {cv} is None:")
-            lines.append(f"    {cv} = SD(*{key_ref})")
-            lines.append(f"    C[{j}] = {cv}")
-            return cv
-
-        read_barriers = self.read_barriers
         exit_pc: Optional[str] = None  # set when a branch terminator returns
         pc = start
         while pc < end:
             ins = code[pc]
             op = ins.op
 
-            if op == bc.CONST:
-                expr, val = self._const_expr(ins.a)
-                push(_Sym(expr, (), val))
-            elif op == bc.LOAD:
-                push(_Sym(f"locals_[{ins.a}]", (ins.a,)))
-            elif op == bc.STORE:
-                fused = bool(sym)
-                v = pop()
-                spill(ins.a)
-                lines.append(f"locals_[{ins.a}] = {v.expr}")
-                if fused:
-                    self._bump("alu+store")
-            elif op == bc.IINC:
-                spill(ins.a)
-                lines.append(f"locals_[{ins.a}] += {ins.b}")
-            elif op == bc.DUP:
-                if sym:
-                    top = sym[-1]
-                    push(_Sym(top.expr, top.deps, top.val))
-                else:
-                    t = newtmp()
-                    lines.append(f"{t} = stack[-1]")
-                    push(_Sym(t))
-            elif op == bc.POP:
-                if sym:
-                    sym.pop()
-                else:
-                    lines.append("del stack[-1]")
-            elif op == bc.SWAP:
-                a = pop()
-                b_ = pop()
-                push(a)
-                push(b_)
-            elif op == bc.NOP:
-                pass
-            elif op in _BIN_EXPR:
-                b_ = pop()
-                a = pop()
-                push_tmp(f"({a.expr}) {_BIN_EXPR[op]} ({b_.expr})")
-            elif op == bc.NEG:
-                v = pop()
-                push_tmp(f"-({v.expr})")
-            elif op == bc.NOT:
-                v = pop()
-                push_tmp(f"0 if ({v.expr}) else 1")
-            elif op in _CMP_EXPR or op == bc.EQ or op == bc.NE:
-                b_ = pop()
-                a = pop()
-                if op in _CMP_EXPR:
-                    cond = f"({a.expr}) {_CMP_EXPR[op]} ({b_.expr})"
-                    negated = False
-                else:
-                    cond = f"GEQ({a.expr}, {b_.expr})"
-                    negated = op == bc.NE
+            if op in _CMP_EXPR or op == bc.EQ or op == bc.NE:
                 nxt = code[pc + 1] if pc + 1 < end else None
                 if nxt is not None and nxt.op in (bc.IF, bc.IFNOT):
                     # cmp+branch superinstruction: one conditional return,
                     # no 0/1 materialisation.  The branch is the block
                     # terminator by construction.
+                    b_ = em.pop()
+                    a = em.pop()
+                    if op in _CMP_EXPR:
+                        cond = f"({a.expr}) {_CMP_EXPR[op]} ({b_.expr})"
+                        negated = False
+                    else:
+                        cond = f"GEQ({a.expr}, {b_.expr})"
+                        negated = op == bc.NE
                     taken, fall = nxt.a, pc + 2
                     if negated:
                         cond = f"not {cond}"
-                    flush_stack()
+                    em.flush_batch()
+                    em.flush_stack()
                     if nxt.op == bc.IF:
-                        lines.append(f"return {taken} if {cond} else {fall}")
+                        em.emit(f"return {taken} if {cond} else {fall}")
                     else:
-                        lines.append(f"return {fall} if {cond} else {taken}")
+                        em.emit(f"return {fall} if {cond} else {taken}")
                     self._bump("cmp+branch")
                     exit_pc = "fused"
                     pc += 2
                     break
-                if negated:
-                    push_tmp(f"0 if {cond} else 1")
-                else:
-                    push_tmp(f"1 if {cond} else 0")
-            elif op == bc.DIV or op == bc.MOD:
-                b_ = pop()
-                a = pop()
-                helper = "MOD" if op == bc.MOD else "DIV"
-                if (b_.val is not _NOVAL and isinstance(b_.val, int)
-                        and b_.val != 0):
-                    suffix = "P" if b_.val > 0 else "C"
-                    push_tmp(f"{helper}{suffix}({a.expr}, {b_.expr})")
-                    self._bump("const+mod" if op == bc.MOD else "const+div")
-                else:
-                    set_fault(pc)
-                    push_tmp(f"{helper}V({a.expr}, {b_.expr})")
-            elif op == bc.TID:
-                push(_Sym("T.tid"))
-
-            # -------------------------------------------------- heap ops
-            elif op == bc.GETFIELD:
-                o = pop()
-                set_fault(pc)
-                to = newtmp()
-                lines.append(f"{to} = RR({o.expr}, 'object')")
-                name_expr, _ = self._const_expr(ins.a)
-                cv = field_cache(to, name_expr)
-                push_tmp(f"{to}.get({name_expr})")
-                if read_barriers:
-                    state["dynamic"] = True
-                    lines.append(
-                        f"A[0] += AL(T, {to}, {name_expr}, {cv}[1].volatile)"
-                    )
-            elif op == bc.PUTFIELD:
-                v = pop()
-                o = pop()
-                set_fault(pc)
-                to = newtmp()
-                lines.append(f"{to} = RR({o.expr}, 'object')")
-                name_expr, _ = self._const_expr(ins.a)
-                cv = field_cache(to, name_expr)
-                if ins.barrier:
-                    told = newtmp()
-                    lines.append(f"{told} = {to}.put({name_expr}, {v.expr})")
-                    state["dynamic"] = True
-                    lines.append(
-                        f"A[0] += BS(T, {to}, {name_expr}, {told}, "
-                        f"{cv}[1].volatile)"
-                    )
-                else:
-                    lines.append(f"{to}.put({name_expr}, {v.expr})")
-            elif op == bc.ALOAD:
-                idx = pop()
-                arr = pop()
-                set_fault(pc)
-                ta = newtmp()
-                lines.append(f"{ta} = RR({arr.expr}, 'array')")
-                if read_barriers:
-                    # the index expression is evaluated twice (get + AL);
-                    # pin it so both reads agree even for locals_ exprs
-                    ti = newtmp()
-                    lines.append(f"{ti} = {idx.expr}")
-                    push_tmp(f"{ta}.get({ti})")
-                    state["dynamic"] = True
-                    lines.append(f"A[0] += AL(T, {ta}, {ti}, False)")
-                else:
-                    push_tmp(f"{ta}.get({idx.expr})")
-            elif op == bc.ASTORE:
-                v = pop()
-                idx = pop()
-                arr = pop()
-                set_fault(pc)
-                ta = newtmp()
-                lines.append(f"{ta} = RR({arr.expr}, 'array')")
-                if ins.barrier:
-                    ti = newtmp()
-                    lines.append(f"{ti} = {idx.expr}")
-                    told = newtmp()
-                    lines.append(f"{told} = {ta}.put({ti}, {v.expr})")
-                    state["dynamic"] = True
-                    lines.append(f"A[0] += BS(T, {ta}, {ti}, {told}, False)")
-                else:
-                    lines.append(f"{ta}.put({idx.expr}, {v.expr})")
-            elif op == bc.GETSTATIC:
-                key_ref = self._kref(ins.a)
-                cv = static_cache(key_ref)
-                push_tmp(f"GS({key_ref})")
-                if read_barriers:
-                    state["dynamic"] = True
-                    lines.append(
-                        f"A[0] += AL(T, {key_ref}, {key_ref}[1], "
-                        f"{cv}.volatile)"
-                    )
-            elif op == bc.PUTSTATIC:
-                v = pop()
-                key_ref = self._kref(ins.a)
-                cv = static_cache(key_ref)
-                if ins.barrier:
-                    told = newtmp()
-                    lines.append(f"{told} = PS({key_ref}, {v.expr})")
-                    state["dynamic"] = True
-                    lines.append(
-                        f"A[0] += BS(T, {key_ref}, {key_ref}[1], {told}, "
-                        f"{cv}.volatile)"
-                    )
-                else:
-                    lines.append(f"PS({key_ref}, {v.expr})")
-            elif op == bc.ARRAYLEN:
-                arr = pop()
-                set_fault(pc)
-                ta = newtmp()
-                lines.append(f"{ta} = RR({arr.expr}, 'array')")
-                push_tmp(f"len({ta})")
-            elif op == bc.NEW:
-                j = self._cell()
-                cv = newtmp()
-                name_expr, _ = self._const_expr(ins.a)
-                lines.append(f"{cv} = C[{j}]")
-                lines.append(f"if {cv} is None:")
-                lines.append(f"    {cv} = CDEF({name_expr})")
-                lines.append(f"    C[{j}] = {cv}")
-                push_tmp(f"ALLOC({cv})")
-            elif op == bc.NEWARRAY:
-                length = pop()
-                set_fault(pc)
-                fill_expr, _ = self._const_expr(ins.a)
-                push_tmp(f"NEWA({length.expr}, {fill_expr})")
-            elif op == bc.CLASSREF:
-                j = self._cell()
-                cv = newtmp()
-                name_expr, _ = self._const_expr(ins.a)
-                lines.append(f"{cv} = C[{j}]")
-                lines.append(f"if {cv} is None:")
-                lines.append(f"    {cv} = CLSO({name_expr})")
-                lines.append(f"    C[{j}] = {cv}")
-                push(_Sym(cv))
-
-            # ------------------------------------------------ terminators
+                em.emit_op(pc, ins)
             elif op == bc.GOTO:
-                flush_stack()
-                lines.append(f"return {ins.a}")
+                em.flush_batch()
+                em.flush_stack()
+                em.emit(f"return {ins.a}")
                 exit_pc = "fused"
                 pc += 1
                 break
             elif op == bc.IF or op == bc.IFNOT:
-                v = pop()
-                flush_stack()
+                v = em.pop()
+                em.flush_batch()
+                em.flush_stack()
                 taken, fall = ins.a, pc + 1
                 if op == bc.IF:
-                    lines.append(f"return {taken} if {v.expr} else {fall}")
+                    em.emit(f"return {taken} if {v.expr} else {fall}")
                 else:
-                    lines.append(f"return {fall} if {v.expr} else {taken}")
+                    em.emit(f"return {fall} if {v.expr} else {taken}")
                 exit_pc = "fused"
                 pc += 1
                 break
-            else:  # pragma: no cover - find_runs filters non-fusable ops
-                raise AssertionError(f"non-fusable op {op} in run")
+            else:
+                em.emit_op(pc, ins)
             pc += 1
 
         if exit_pc is None:
-            flush_stack()
-            lines.append(f"return {end}")
+            em.flush_batch()
+            em.flush_stack()
+            em.emit(f"return {end}")
         run = code[start:end]
-        return self._emit(start, end, run, lines,
-                          state["dynamic"], state["raising"])
+        return self._finish(start, end, run, em)
 
-    def _emit(self, start: int, end: int, run, lines: list[str],
-              dynamic: bool, raising: bool) -> BasicBlock:
-        if dynamic:
-            lines.insert(0, "A[0] = 0")
+    def _finish(self, start: int, end: int, run, em: _Emitter) -> BasicBlock:
+        lines = em.lines
+        if em.dynamic:
+            lines.insert(0, "    A[0] = 0")
         name = f"_b{start}"
-        body = "\n".join("    " + ln for ln in lines)
+        body = "\n".join(lines)
         source = f"def {name}(stack, locals_, F, A, T):\n{body}\n"
-        filename = f"<fused {self.method.qualified_name()}@{start}>"
-        exec(compile(source, filename, "exec"), self.ns)
-        fn = self.ns.pop(name)
 
         cost = sum(ins.cost for ins in run)
         count = len(run)
@@ -734,7 +892,7 @@ class _Predecoder:
         suffix_cost.reverse()
         suffix_count.reverse()
         return BasicBlock(
-            start, end, cost, count, fn, dynamic, raising,
+            start, end, cost, count, None, em.dynamic, em.raising,
             tuple(suffix_cost), tuple(suffix_count), source,
         )
 
@@ -753,4 +911,9 @@ def render_decoded(dm: DecodedMethod) -> str:
             f"{' raising' if b.raising else ''}"
         )
         out.append(b.source.rstrip())
+    for s in dm.superblock_list:
+        out.append(
+            f"-- superblock @{s.anchor} loop [{s.head},{s.anchor}]"
+        )
+        out.append(s.source.rstrip())
     return "\n".join(out)

@@ -96,6 +96,22 @@ class RuntimeSupport:
         section (paper §3.1.2)."""
         return 0
 
+    def before_store_batch(self, thread: "VMThread", entries) -> int:
+        """Batched write-barrier fast path.
+
+        ``entries`` is a tuple of ``(container, slot, old_value, volatile)``
+        records for a run of consecutive barrier stores between two
+        observation points (no intervening raising op, read barrier, or
+        yield point).  Must be observably equivalent to calling
+        :meth:`before_store` once per entry in order; the base
+        implementation does exactly that, subclasses may append the run in
+        one call."""
+        cost = 0
+        for container, slot, old_value, volatile in entries:
+            cost += self.before_store(thread, container, slot, old_value,
+                                      volatile)
+        return cost
+
     def after_load(
         self, thread: "VMThread", container, slot, volatile: bool
     ) -> int:

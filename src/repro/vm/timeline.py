@@ -112,7 +112,11 @@ def render_timeline(
     width = _resolve_width(width, max_width, name_budget, span)
 
     def col(time: int) -> int:
-        c = int((time - t0) * width / span)
+        # Integer (floor) division keeps the cell mapping exact: float
+        # rounding at large cycle counts could nudge a boundary event
+        # one cell left/right, breaking cross-host determinism and the
+        # first/last-event guarantees.
+        c = (time - t0) * width // span
         return max(0, min(width - 1, c))
 
     names = [t.name for t in vm.threads]

@@ -287,7 +287,7 @@ class JVM:
                 else:
                     ins.ypoint = True
             elif bc.is_branch(ins.op) and isinstance(ins.a, int):
-                ins.ypoint = ins.a <= pc
+                ins.ypoint = bc.is_backward_branch(ins, pc)
 
     # ------------------------------------------------------------ resolution
     def classdef(self, name: str) -> ClassDef:

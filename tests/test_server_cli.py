@@ -5,6 +5,8 @@ registry."""
 from __future__ import annotations
 
 import json
+import os
+import subprocess
 
 import pytest
 
@@ -122,6 +124,89 @@ class TestServerCli:
             ServerSpec(preset="chaos-smoke", mode="inheritance"),
         ):
             assert server_cell_key(other) != server_cell_key(base)
+
+
+class TestReplayCommand:
+    """REPLAY fidelity: when a sweep fails, one stderr line per
+    offending cell must round-trip every flag shaping that cell, and
+    executing the emitted command verbatim reproduces the failure."""
+
+    REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+    def _cli(self, command: str) -> subprocess.CompletedProcess:
+        return subprocess.run(
+            command, shell=True, cwd=self.REPO,
+            capture_output=True, text=True,
+        )
+
+    def test_replay_flag_runs_one_cell(self, capsys):
+        rc = server_main(
+            ["--preset", "chaos-smoke", "--chaos", "--replay", "1"]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        run = json.loads(out)
+        assert run["format"] == "repro.server/1"
+        assert run["violations"] == []
+
+    def test_replay_matches_sweep_cell(self, capsys):
+        rc, out, _ = _server(
+            capsys, "--preset", "chaos-smoke", "--chaos", "--json"
+        )
+        assert rc == 0
+        sweep_run = json.loads(out)["runs"][0]
+        rc = server_main(
+            ["--preset", "chaos-smoke", "--chaos", "--replay", "1"]
+        )
+        replay_run = json.loads(capsys.readouterr().out)
+        assert rc == 0
+        assert replay_run == sweep_run
+
+    def test_replay_command_roundtrips_all_cell_flags(self):
+        from repro.server.__main__ import _parser, _replay_command, _spec
+
+        args = _parser().parse_args([
+            "--preset", "storm", "--requests", "120",
+            "--mode", "inheritance", "--interp", "reference",
+            "--chaos", "--profile",
+        ])
+        line = _replay_command(args, 4)
+        assert line.startswith(
+            "REPLAY: PYTHONPATH=src python -m repro.server "
+        )
+        argv = line.split("python -m repro.server")[1].split()
+        back = _parser().parse_args(argv)
+        assert back.replay == 4
+        assert _spec(back, back.replay) == _spec(args, 4)
+
+    def test_replay_line_reproduces_failure_verbatim(self):
+        # Force a deterministic failure: in unmodified mode no rollback
+        # ever runs, so the seeded undo-drop defect cannot fire and the
+        # negative control reports it undetected (exit 1).
+        probe = self._cli(
+            "PYTHONPATH=src python -m repro.server --preset chaos-smoke "
+            "--mode unmodified --inject-bug undo-drop --jobs 1 --no-cache"
+        )
+        assert probe.returncode == 1
+        assert "undetected" in probe.stderr
+        replays = [
+            line for line in probe.stderr.splitlines()
+            if line.startswith("REPLAY: ")
+        ]
+        assert len(replays) == 1
+        line = replays[0]
+        for flag in (
+            "--preset chaos-smoke", "--mode unmodified",
+            "--interp fast", "--inject-bug undo-drop", "--replay 1",
+        ):
+            assert flag in line, flag
+        command = line[len("REPLAY: "):].split("  #")[0]
+        replay = self._cli(command)
+        assert replay.returncode == 1  # the failure reproduces
+        run = json.loads(replay.stdout)
+        assert run["violations"] == []  # still undetected, same cell
+        assert run["mode"] == "unmodified"
+        assert run["inject_bug"] == "undo-drop"
 
 
 class TestObsIntegration:

@@ -183,15 +183,59 @@ class TestCampaignReplay:
         }
         monkeypatch.setattr(
             campaign, "run_campaign",
-            lambda seeds, scenario_filter=None, engine=None: canned,
+            lambda seeds, scenario_filter=None, engine=None,
+            interp="fast": canned,
         )
         rc = campaign.main(["--seeds", "1", "--jobs", "1"])
         err = capsys.readouterr().err
         assert rc == 1
         assert (
             "REPLAY: PYTHONPATH=src python -m repro.faults.campaign "
-            "--scenario unit-fails --replay 3  # vm seed 0xabc"
+            "--scenario unit-fails --replay 3 --interp fast"
+            "  # vm seed 0xabc"
         ) in err
+
+    def test_replay_command_roundtrips_interp(self, monkeypatch, capsys):
+        """The REPLAY line must carry every flag shaping the failing
+        cell: a reference-engine campaign failure has to replay on the
+        reference engine, not silently fall back to the default."""
+        canned = {
+            "seeds": 1, "scenarios": {}, "violations": 1,
+            "failures": [{
+                "scenario": "unit-fails", "seed_index": 3,
+                "vm_seed": "0xabc", "outcome": "completed",
+                "violations": ["boom"],
+            }],
+        }
+        monkeypatch.setattr(
+            campaign, "run_campaign",
+            lambda seeds, scenario_filter=None, engine=None,
+            interp="fast": canned,
+        )
+        rc = campaign.main(
+            ["--seeds", "1", "--jobs", "1", "--interp", "reference"]
+        )
+        err = capsys.readouterr().err
+        assert rc == 1
+        replay = next(
+            line for line in err.splitlines()
+            if line.startswith("REPLAY: ")
+        )
+        assert "--interp reference" in replay
+        # the emitted command parses back through the campaign CLI into
+        # exactly the failing cell's identity
+        argv = replay.split("#")[0].split("python -m repro.faults.campaign")[
+            1
+        ].split()
+        monkeypatch.setattr(
+            campaign, "replay_cell",
+            lambda name, index, interp="fast": {
+                "violations": [(name, index, interp)]
+            },
+        )
+        rc = campaign.main(argv)
+        fragment = json.loads(capsys.readouterr().out)
+        assert fragment["violations"] == [["unit-fails", 3, "reference"]]
 
     def test_replay_flag_reruns_one_cell(self, monkeypatch, capsys):
         monkeypatch.setattr(
@@ -204,6 +248,48 @@ class TestCampaignReplay:
         assert rc == 1
         fragment = json.loads(out)
         assert fragment["violations"] == ["synthetic violation"]
+
+    def test_replay_honours_interp_flag(self, monkeypatch, capsys):
+        seen = {}
+        real_run_one = campaign.run_one
+
+        def spy(scenario, index, *, interp="fast"):
+            seen["interp"] = interp
+            return real_run_one(scenario, index, interp=interp)
+
+        monkeypatch.setattr(
+            campaign, "_scenarios", lambda: [self._failing_scenario()]
+        )
+        monkeypatch.setattr(campaign, "run_one", spy)
+        campaign.main(
+            ["--scenario", "unit-fails", "--replay", "1",
+             "--interp", "reference"]
+        )
+        capsys.readouterr()
+        assert seen["interp"] == "reference"
+
+    def test_cell_key_distinguishes_interp(self):
+        """A cached fast-engine fragment must never be served for a
+        reference-engine request (stale-cache class of bugs)."""
+        fast = campaign._cell_key(("storm-philosophers", 1, "fast"))
+        ref = campaign._cell_key(("storm-philosophers", 1, "reference"))
+        assert fast != ref
+
+    def test_fragments_identical_across_interp(self):
+        """The campaign's determinism contract extends to the engine:
+        one (scenario, seed) cell yields a byte-identical fragment on
+        either interpreter."""
+        scenario = {
+            s.name: s for s in campaign._scenarios()
+        }["storm-philosophers"]
+        fragments = [
+            json.dumps(
+                campaign.run_one(scenario, 1, interp=interp),
+                sort_keys=True,
+            )
+            for interp in ("fast", "reference")
+        ]
+        assert fragments[0] == fragments[1]
 
     def test_replay_requires_scenario(self):
         with pytest.raises(SystemExit):

@@ -214,6 +214,46 @@ class TestReport:
     def test_latency_summary_empty(self):
         assert latency_summary([])["count"] == 0
 
+    def test_latency_summary_empty_uses_null_sentinel(self):
+        # A fully-shed tier served nothing: percentiles must be the
+        # explicit None sentinel, not a misleading 0-cycle latency.
+        summary = latency_summary([])
+        for key in ("p50", "p99", "p999", "max", "mean"):
+            assert summary[key] is None, key
+
+    def test_latency_summary_single_sample(self):
+        summary = latency_summary([37])
+        assert summary == {
+            "count": 1, "p50": 37, "p99": 37, "p999": 37,
+            "max": 37, "mean": 37,
+        }
+
+    def test_render_report_shows_dash_for_shed_tier(self):
+        from repro.server.report import render_report
+
+        report = {
+            "format": "repro.server/1", "config": "synthetic",
+            "seed": "0x1", "mode": "rollback", "scheduler": "priority",
+            "outcome": "completed", "violations": [],
+            "elapsed_cycles": 1000, "requests": 4, "threads": 2,
+            "context_switches": 7, "injected": {},
+            "storm": {"events": [], "entries": 0},
+            "robustness": {"watchdog_trips": 0},
+            "tiers": {
+                "shed-out": {
+                    "priority": 1, "requests": 4, "completed": 0,
+                    "shed": 4, "timeouts": 0, "retries": 0,
+                    "dropped": 0, "errors": 0, "goodput_per_mcycle": 0,
+                    "latency": latency_summary([]),
+                    "cycles": 0, "blocked_cycles": 0, "revocations": 0,
+                },
+            },
+        }
+        text = render_report(report)
+        row = next(l for l in text.splitlines() if "shed-out" in l)
+        assert "None" not in row
+        assert row.count("-") >= 3  # p50/p99/p999 all render as "-"
+
     def test_report_shape(self):
         config = _small()
         vm, storm = _run(config)

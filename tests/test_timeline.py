@@ -72,3 +72,87 @@ class TestRenderTimeline:
         for row in rows:
             bar = row.split("|")[1]
             assert len(bar) == 30
+
+
+def _thread_rows(out):
+    return [line for line in out.splitlines() if line.endswith("|")]
+
+
+class TestBudgetedDownsampling:
+    """max_width is a budget for the whole rendered row — name gutter,
+    rails and cells.  Rows must never exceed it (down to the documented
+    MIN_COLUMNS floor), at exactly-budget and budget±1 alike, and
+    downsampling must keep the first and last trace events visible."""
+
+    def test_budget_exact_and_off_by_one(self):
+        vm = inversion_vm()
+        name_width = max(len(t.name) for t in vm.threads)
+        floor = name_width + 3 + 10  # gutter + rails + MIN_COLUMNS
+        for budget in (floor - 1, floor, floor + 1, 40, 59, 60, 61, 83):
+            out = render_timeline(vm, max_width=budget)
+            for row in _thread_rows(out):
+                assert len(row) <= max(budget, floor), (budget, row)
+
+    def test_budget_sweep_property(self):
+        vm = inversion_vm()
+        name_width = max(len(t.name) for t in vm.threads)
+        floor = name_width + 3 + 10
+        for budget in range(floor, 120):
+            out = render_timeline(vm, max_width=budget)
+            rows = _thread_rows(out)
+            assert rows, budget
+            for row in rows:
+                assert len(row) <= budget, (budget, row)
+
+    def test_first_and_last_events_preserved(self):
+        vm = inversion_vm()
+        events = vm.tracer.events
+        t0 = events[0].time
+        t1 = max(vm.clock.now, events[-1].time)
+        span = t1 - t0
+        for budget in (25, 40, 80):
+            out = render_timeline(vm, max_width=budget)
+            rows = _thread_rows(out)
+            width = len(rows[0].split("|")[1])
+            first_col = min(
+                max(0, min(width - 1, (e.time - t0) * width // span))
+                for e in events if e.thread
+            )
+            last_col = max(
+                max(0, min(width - 1, (e.time - t0) * width // span))
+                for e in events if e.thread
+            )
+            cols = {
+                c for row in rows
+                for c, ch in enumerate(row.split("|")[1]) if ch != " "
+            }
+            assert first_col in cols, budget
+            assert last_col in cols, budget
+
+    def test_point_markers_land_on_integer_exact_cells(self):
+        # Point markers (R/D/G/!) must sit in the cell given by the
+        # integer floor mapping (time - t0) * width // span.  A float
+        # implementation can land one cell off when time * width is not
+        # exactly representable, shifting markers between hosts.
+        vm = inversion_vm()
+        events = vm.tracer.events
+        t0 = events[0].time
+        t1 = max(vm.clock.now, events[-1].time)
+        span = t1 - t0
+        rollbacks = [e for e in events if e.kind == "rollback_done"]
+        assert rollbacks
+        for budget in (25, 47, 60, 93):
+            out = render_timeline(vm, max_width=budget)
+            rows = _thread_rows(out)
+            width = len(rows[0].split("|")[1])
+            row = next(r for r in rows if r.strip().startswith("low"))
+            bar = row.split("|")[1]
+            for e in rollbacks:
+                c = max(0, min(width - 1, (e.time - t0) * width // span))
+                assert bar[c] == "R", (budget, c)
+
+    def test_legacy_none_budget_keeps_80_cells(self):
+        vm = inversion_vm()
+        out = render_timeline(vm, max_width=None)
+        for row in _thread_rows(out):
+            assert len(row.split("|")[1]) == 80

@@ -406,6 +406,49 @@ class TestBarrierElision:
 
         assert run_vm(True) == run_vm(False) == 1_000
 
+    def test_predecoded_method_not_stale_after_elision(self):
+        """Regression: predecode can legitimately run *before* barrier
+        elision (Inspector dumps, direct ``predecode_method`` calls).
+        Elision then mutates barrier flags the compiled DecodedMethod
+        baked in; without invalidation the fast engine keeps charging
+        the removed barriers and diverges from the reference clock."""
+        from repro.check import final_fingerprint, fingerprint_digest
+        from repro.vm.predecode import predecode_method
+
+        def program():
+            run = Asm("run", argc=0)
+            # outside any section: this barrier gets elided
+            run.const(0).putstatic("C", "value")
+            run.getstatic("C", "lock")
+            with run.sync():
+                i = run.local()
+                run.for_range(i, lambda: run.const(50), lambda: (
+                    run.getstatic("C", "value"), run.const(1), run.add(),
+                    run.putstatic("C", "value"),
+                ))
+            run.ret()
+            return counter_class(run)
+
+        def run_vm(interp, *, pre_decode):
+            vm = make_vm("rollback", interp=interp, seed=7)
+            vm.load(program())
+            vm.set_static("C", "lock", vm.new_object("C"))
+            vm.spawn("C", "run", priority=1, name="low")
+            vm.spawn("C", "run", priority=10, name="high")
+            if pre_decode:
+                # populate the decode cache before run() runs elision —
+                # the mid-campaign mutation this regression guards
+                predecode_method(vm, vm.classes["C"].method("run"))
+            vm.run()
+            return vm
+
+        fast = run_vm("fast", pre_decode=True)
+        ref = run_vm("reference", pre_decode=False)
+        assert fast.clock.now == ref.clock.now
+        assert fingerprint_digest(
+            final_fingerprint(fast, "completed")
+        ) == fingerprint_digest(final_fingerprint(ref, "completed"))
+
     def test_transitive_propagation(self):
         """a() called in a section calls b(); b's stores keep barriers."""
         b_m = Asm("b", argc=0)

@@ -7,6 +7,7 @@ import pytest
 from repro.util.stats import (
     confidence_interval,
     geometric_mean,
+    nearest_rank,
     normalize_series,
     summarize,
 )
@@ -118,3 +119,49 @@ class TestNormalize:
     def test_zero_baseline_raises(self):
         with pytest.raises(ValueError):
             normalize_series([1.0], 0.0)
+
+
+class TestNearestRank:
+    """Edge cases of the integer nearest-rank percentile: the latency
+    reports are built on it, so 0-/1-sample tiers must be handled
+    loudly (raise) or exactly (single sample), never approximately."""
+
+    def test_empty_sample_raises(self):
+        with pytest.raises(ValueError):
+            nearest_rank([], 50, 100)
+
+    def test_single_sample_is_every_percentile(self):
+        # ceil(1 * p) == 1 for any p in (0, 1]: the only sample is
+        # simultaneously the p50, p99, p999 and p100.
+        for numer, denom in ((1, 100), (50, 100), (99, 100),
+                             (999, 1000), (1, 1)):
+            assert nearest_rank([42], numer, denom) == 42
+
+    def test_two_samples(self):
+        assert nearest_rank([10, 20], 50, 100) == 10
+        assert nearest_rank([10, 20], 99, 100) == 20
+
+    def test_p100_is_max(self):
+        assert nearest_rank([1, 2, 3], 100, 100) == 3
+        assert nearest_rank([1, 2, 3], 1, 1) == 3
+
+    def test_zero_percentile_raises(self):
+        with pytest.raises(ValueError):
+            nearest_rank([1, 2, 3], 0, 100)
+
+    def test_over_100_percent_raises(self):
+        with pytest.raises(ValueError):
+            nearest_rank([1, 2, 3], 101, 100)
+
+    def test_textbook_p50(self):
+        # NIST example: nearest-rank p50 of n=4 is the 2nd value.
+        assert nearest_rank([15, 20, 35, 50], 50, 100) == 20
+
+    def test_no_float_drift_at_scale(self):
+        # 10_000_000 * 999 / 1000 is exactly representable either way,
+        # but (n * numer + denom - 1) // denom must stay pure-integer:
+        # verify a rank where float rounding would misplace the index.
+        n = 10_000_001
+        samples = range(1, n + 1)
+        rank = (n * 999 + 1000 - 1) // 1000
+        assert nearest_rank(samples, 999, 1000) == rank
