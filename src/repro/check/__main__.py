@@ -42,8 +42,16 @@ def _parser() -> argparse.ArgumentParser:
         help="check scenario to explore (see --list; default handoff)",
     )
     parser.add_argument(
+        "--strategy", default="exhaustive",
+        choices=("exhaustive", "dpor", "random"),
+        help="search strategy: exhaustive bounded-preemption BFS, "
+             "dynamic partial-order reduction with sleep sets, or "
+             "seeded random walks only (default exhaustive)",
+    )
+    parser.add_argument(
         "--bound", type=int, default=2,
-        help="preemption bound for exhaustive exploration (default 2)",
+        help="preemption bound for exhaustive exploration (default 2; "
+             "ignored by --strategy dpor)",
     )
     parser.add_argument(
         "--walks", type=int, default=0,
@@ -182,21 +190,36 @@ def main(argv: list[str] | None = None) -> int:
 
     modes = tuple(m.strip() for m in args.modes.split(",") if m.strip())
     engine = _engine(args.jobs)
-    report = explore(
-        args.scenario,
-        args.bound,
-        modes=modes,
-        inject=args.inject_bug,
-        walks=args.walks,
-        walk_bound=args.walk_bound,
-        engine=engine,
-    )
-    print(f"repro.check scenario={report.scenario} bound={report.bound} "
+    if args.strategy == "dpor":
+        from repro.check.dpor import explore_dpor
+
+        report = explore_dpor(
+            args.scenario,
+            modes=modes,
+            inject=args.inject_bug,
+            engine=engine,
+        )
+    else:
+        report = explore(
+            args.scenario,
+            args.bound,
+            modes=modes,
+            inject=args.inject_bug,
+            walks=args.walks if args.strategy == "exhaustive"
+            else (args.walks or 64),
+            walk_bound=args.walk_bound,
+            engine=engine,
+            exhaustive=args.strategy == "exhaustive",
+        )
+    bound_part = "" if report.bound < 0 else f" bound={report.bound}"
+    print(f"repro.check scenario={report.scenario} "
+          f"strategy={report.strategy}{bound_part} "
           f"modes={','.join(report.modes)}"
           + (f" inject={args.inject_bug}" if args.inject_bug else ""))
-    print(f"schedules: {report.schedules} exhaustive + {report.walks} "
+    print(f"schedules: {report.schedules} searched + {report.walks} "
           f"walks ({report.distinct_schedules} distinct), "
           f"max {report.max_decisions} decisions")
+    print(f"reduction: {report.reduction_line()}")
     print(f"states: {report.distinct_states} distinct final state(s) "
           f"under {report.modes[0]}")
     for mode in report.modes:
@@ -206,6 +229,7 @@ def main(argv: list[str] | None = None) -> int:
         )
         print(f"  {mode}: {summary}")
     print(f"divergences: {len(report.divergences)}")
+    print(f"repro.check {report.reduction_line()}", file=sys.stderr)
     print(engine.stats.render(), file=sys.stderr)
     if not report.divergences:
         print("OK: all explored schedules are policy-equivalent")

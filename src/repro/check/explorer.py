@@ -306,17 +306,91 @@ class ExplorationReport:
     scenario: str
     bound: int
     modes: tuple[str, ...]
-    schedules: int = 0        # exhaustive cells executed
+    schedules: int = 0        # strategy cells executed (exhaustive / dpor)
     walks: int = 0            # random-walk cells executed
     distinct_schedules: int = 0
     distinct_states: int = 0  # reference-policy final-state digests
     max_decisions: int = 0
     policy_outcomes: dict = field(default_factory=dict)
     divergences: list = field(default_factory=list)
+    #: which search produced the cells: "exhaustive", "dpor", or "random"
+    strategy: str = "exhaustive"
+    #: complete interleavings the strategy executed
+    explored: int = 0
+    #: prefixes abandoned as provably redundant (sleep-set prunes; 0 for
+    #: the stateless strategies)
+    pruned: int = 0
+    #: scheduler transitions executed by the strategy's own search (dpor)
+    transitions: int = 0
+    #: snapshot restores performed by the strategy's own search (dpor)
+    restores: int = 0
+    #: (schedule, reference digest, reference outcome) per executed cell —
+    #: the raw material of the DPOR soundness battery
+    executions: tuple = ()
 
     @property
     def ok(self) -> bool:
         return not self.divergences
+
+    def reduction_line(self) -> str:
+        """Deterministic one-line search-effort summary.  Identical for
+        any ``REPRO_BENCH_JOBS`` value: every count is a pure function of
+        (scenario, strategy, bound, modes, inject)."""
+        return (
+            f"strategy={self.strategy} explored={self.explored} "
+            f"pruned={self.pruned} transitions={self.transitions} "
+            f"restores={self.restores}"
+        )
+
+
+def summarize_results(
+    scenario_name: str,
+    bound: int,
+    modes: tuple[str, ...],
+    executed: list[dict],
+    walk_results: list[dict],
+    **extra,
+) -> ExplorationReport:
+    """Fold executed cell results into an :class:`ExplorationReport`.
+
+    Shared by every strategy so reports stay byte-comparable; ``extra``
+    carries strategy-specific fields (explored/pruned/...)."""
+    reference = modes[0]
+    everything = executed + walk_results
+    outcome_counts: dict[str, Counter] = {m: Counter() for m in modes}
+    for result in everything:
+        for mode in modes:
+            outcome_counts[mode][result["outcomes"][mode]] += 1
+    return ExplorationReport(
+        scenario=scenario_name,
+        bound=bound,
+        modes=modes,
+        schedules=len(executed),
+        walks=len(walk_results),
+        distinct_schedules=len(
+            {tuple(r["schedule"]) for r in everything}
+        ),
+        distinct_states=len(
+            {r["digests"][reference] for r in everything}
+        ),
+        max_decisions=max(
+            (len(r["schedule"]) for r in everything), default=0
+        ),
+        policy_outcomes={
+            mode: dict(sorted(outcome_counts[mode].items()))
+            for mode in modes
+        },
+        divergences=[r for r in everything if r["problems"]],
+        executions=tuple(
+            (
+                tuple(r["schedule"]),
+                r["digests"][reference],
+                r["outcomes"][reference],
+            )
+            for r in everything
+        ),
+        **extra,
+    )
 
 
 def explore(
@@ -329,8 +403,12 @@ def explore(
     walk_bound: Optional[int] = None,
     engine=None,
     max_schedules: int = 200_000,
+    exhaustive: bool = True,
 ) -> ExplorationReport:
     """Exhaustive bounded-preemption BFS plus optional random walks.
+
+    With ``exhaustive=False`` the BFS is skipped entirely and only the
+    seeded walks run — the CLI's ``--strategy random``.
 
     Random-walk cell ``k`` uses the repo-wide seed-namespace convention
     (:func:`repro.util.rng.sweep_seed`): its walk seed is
@@ -343,7 +421,7 @@ def explore(
         engine = RunEngine(jobs=1)
     modes = tuple(modes)
     visited: set[tuple[int, ...]] = {()}
-    frontier: list[tuple[int, ...]] = [()]
+    frontier: list[tuple[int, ...]] = [()] if exhaustive else []
     executed: list[dict] = []
     while frontier:
         items = [
@@ -382,31 +460,12 @@ def explore(
             run_check_cell, walk_items, key_fn=check_cell_key
         )
 
-    reference = modes[0]
-    everything = executed + walk_results
-    outcome_counts: dict[str, Counter] = {m: Counter() for m in modes}
-    for result in everything:
-        for mode in modes:
-            outcome_counts[mode][result["outcomes"][mode]] += 1
-    report = ExplorationReport(
-        scenario=scenario_name,
-        bound=bound,
-        modes=modes,
-        schedules=len(executed),
-        walks=len(walk_results),
-        distinct_schedules=len(
-            {tuple(r["schedule"]) for r in everything}
-        ),
-        distinct_states=len(
-            {r["digests"][reference] for r in everything}
-        ),
-        max_decisions=max(
-            (len(r["schedule"]) for r in everything), default=0
-        ),
-        policy_outcomes={
-            mode: dict(sorted(outcome_counts[mode].items()))
-            for mode in modes
-        },
-        divergences=[r for r in everything if r["problems"]],
+    return summarize_results(
+        scenario_name,
+        bound,
+        modes,
+        executed,
+        walk_results,
+        strategy="exhaustive" if exhaustive else "random",
+        explored=len(executed) + len(walk_results),
     )
-    return report

@@ -109,6 +109,67 @@ def build_locked_counter(
     )
 
 
+def build_paired_handoffs(
+    cls_name: str,
+    pairs: int,
+    *,
+    sections: int = 1,
+    iters: int = 1,
+) -> Workload:
+    """``pairs`` low/high priority thread pairs, each contending on its
+    *own* lock around its own counter slot.  Pairs are mutually
+    independent, so the schedule space is the product of the per-pair
+    spaces — exhaustive enumeration explodes combinatorially while a
+    partial-order-reducing strategy collapses the cross-pair orderings.
+    Every counter slot ends at ``sections * iters`` in any legal
+    serialization."""
+    cls = ClassDef(
+        cls_name,
+        fields=[
+            FieldDef("locks", "ref", is_static=True),
+            FieldDef("counters", "ref", is_static=True),
+        ],
+    )
+    run = Asm("run", argc=2)
+    pair = run.arg(0)
+    iters_arg = run.arg(1)
+    s = run.local("s")
+    i = run.local("i")
+
+    def increment() -> None:
+        # counters[pair] = counters[pair] + 1
+        run.getstatic(cls_name, "counters").load(pair)
+        run.getstatic(cls_name, "counters").load(pair).aload()
+        run.const(1).add()
+        run.astore()
+
+    def section_body() -> None:
+        run.getstatic(cls_name, "locks").load(pair).aload()
+        with run.sync():
+            run.for_range(i, lambda: run.load(iters_arg), increment)
+
+    run.for_range(s, lambda: run.const(sections), section_body)
+    run.ret()
+    cls.add_method(run.build())
+
+    def setup(vm: "JVM") -> None:
+        locks = vm.new_array(pairs)
+        counters = vm.new_array(pairs)
+        for k in range(pairs):
+            locks.put(k, vm.new_object(cls_name))
+            counters.put(k, 0)
+        vm.set_static(cls_name, "locks", locks)
+        vm.set_static(cls_name, "counters", counters)
+
+    spawns = []
+    for k in range(pairs):
+        spawns.append(("run", [k, iters], 1, f"low{k}"))
+        spawns.append(("run", [k, iters], 10, f"high{k}"))
+    return Workload(
+        name=cls_name.lower(), classdef=cls, setup=setup, spawns=spawns
+    )
+
+
 def build_racy_counter(*, iters: int = 3) -> Workload:
     """Two threads increment an unprotected counter with a yield between
     the read and the write: lost updates under preemptive schedules."""
@@ -186,6 +247,73 @@ def _scenario_list() -> list[CheckScenario]:
                 sections=1, iters=2,
             ),
             expected_statics={("Barge", "counter"): 3 * 1 * 2},
+        ),
+        CheckScenario(
+            name="mini-handoff",
+            description="handoff shrunk to one section and one increment "
+                        "per thread: small enough for full (unbounded) "
+                        "exhaustive enumeration — the DPOR soundness "
+                        "battery's anchor",
+            build=lambda: build_locked_counter(
+                "MiniHandoff", [(1, "low"), (10, "high")],
+                sections=1, iters=1,
+            ),
+            expected_statics={("MiniHandoff", "counter"): 2 * 1 * 1},
+        ),
+        CheckScenario(
+            name="mini-barge",
+            description="barge shrunk to one increment per section: "
+                        "three priorities, one lock, small enough for "
+                        "full exhaustive enumeration",
+            build=lambda: build_locked_counter(
+                "MiniBarge", [(2, "t-lo"), (5, "t-mid"), (9, "t-hi")],
+                sections=1, iters=1,
+            ),
+            expected_statics={("MiniBarge", "counter"): 3 * 1 * 1},
+        ),
+        CheckScenario(
+            name="mini-racy",
+            description="one unprotected read-yield-write increment per "
+                        "thread: the smallest scenario with genuinely "
+                        "schedule-dependent final states",
+            build=lambda: build_racy_counter(iters=1),
+            expected_statics=None,
+        ),
+        CheckScenario(
+            name="pileup4",
+            description="four priorities piling onto one lock: the DPOR "
+                        "battery's largest fully-enumerable member",
+            build=lambda: build_locked_counter(
+                "Pileup4",
+                [(1, "t1"), (4, "t2"), (7, "t3"), (10, "t4")],
+                sections=1, iters=1,
+            ),
+            expected_statics={("Pileup4", "counter"): 4 * 1 * 1},
+        ),
+        CheckScenario(
+            name="handoff-trio",
+            description="three independent low/high handoff pairs on "
+                        "three locks (6 threads, monitors + revocation): "
+                        "the DPOR acceptance scenario — the product "
+                        "schedule space is far beyond exhaustive "
+                        "enumeration, but cross-pair slices commute",
+            build=lambda: build_paired_handoffs(
+                "HandoffTrio", 3, sections=1, iters=1,
+            ),
+            expected_statics=None,
+        ),
+        CheckScenario(
+            name="pileup6",
+            description="six priorities piling onto one lock with "
+                        "revocation in play: the DPOR acceptance "
+                        "scenario — exhaustive enumeration is infeasible",
+            build=lambda: build_locked_counter(
+                "Pileup6",
+                [(1, "t1"), (2, "t2"), (4, "t3"),
+                 (6, "t4"), (8, "t5"), (10, "t6")],
+                sections=1, iters=1,
+            ),
+            expected_statics={("Pileup6", "counter"): 6 * 1 * 1},
         ),
         CheckScenario(
             name="racy-yield",

@@ -74,6 +74,10 @@ class RollbackSupport(RuntimeSupport):
         self._donations = 0
         #: post-rollback invariant auditor (options.audit_rollbacks)
         self.auditor = None
+        #: per-VM section-id sequence — part of VM state (deepcopied by
+        #: snapshots), so section ids in traces are a pure function of the
+        #: schedule, never of what else the host process ran
+        self._section_seq = 0
 
     def attach(self, vm) -> None:
         super().attach(vm)
@@ -135,7 +139,7 @@ class RollbackSupport(RuntimeSupport):
                 changed += 1
                 self.vm.trace(
                     "nonrevocable", thread, section=repr(section),
-                    reason=reason,
+                    mon=section.monitor, reason=reason,
                 )
         if changed:
             self.metrics.nonrevocable_marks += changed
@@ -152,11 +156,13 @@ class RollbackSupport(RuntimeSupport):
     ) -> int:
         scope = frame.method.rollback_scopes.get(sync_id)
         log = self._log(thread)
+        self._section_seq += 1
         section = Section(
             thread,
             monitor,
             frame,
             sync_id,
+            sid=self._section_seq,
             slot=scope.slot if scope else None,
             resume_pc=scope.save_pc if scope else None,
             handler_pc=scope.handler_pc if scope else None,
@@ -181,7 +187,7 @@ class RollbackSupport(RuntimeSupport):
                     self.metrics.nonrevocable_degraded += 1
                     self.vm.trace(
                         "nonrevocable", thread, section=repr(section),
-                        reason=REASON_DEGRADED,
+                        mon=section.monitor, reason=REASON_DEGRADED,
                     )
         return 0
 
@@ -282,6 +288,7 @@ class RollbackSupport(RuntimeSupport):
                         "nonrevocable",
                         thread,
                         section=repr(section),
+                        mon=section.monitor,
                         reason=reason,
                     )
         return self.vm.cost_model.read_barrier
@@ -293,14 +300,31 @@ class RollbackSupport(RuntimeSupport):
             return None
         thread.revocation_request = None
         if target not in thread.sections:
-            return None  # the section already committed; request is stale
+            # the section already committed; request is stale.  Traced so
+            # schedule-dependence analyses (repro.check.dpor) see that a
+            # posted request was consumed here — the consumption orders
+            # this slice against the posting slice on the same monitor.
+            self.vm.trace(
+                "revocation_denied", thread,
+                mon=getattr(target, "monitor", None),
+                reason="stale",
+            )
+            return None
         if not self.can_revoke(thread, target):
             self.metrics.revocations_denied_nonrevocable += 1
+            self.vm.trace(
+                "revocation_denied", thread, mon=target.monitor,
+                reason="nonrevocable",
+            )
             return None
         limit = self.vm.options.max_rollback_entries
         if limit and self.pending_undo_entries(thread, target) > limit:
             # the log grew past the budget between request and delivery
             self.metrics.revocations_denied_cost += 1
+            self.vm.trace(
+                "revocation_denied", thread, mon=target.monitor,
+                reason="cost",
+            )
             return None
         plane = self.vm.fault_plane
         if plane is not None:
@@ -361,7 +385,7 @@ class RollbackSupport(RuntimeSupport):
             self._degrade(thread, site, reason="budget")
         self.vm.trace(
             "rollback_begin", thread, section=repr(target),
-            undone=restored,
+            mon=target.monitor, undone=restored,
         )
         return RollbackSignal(target)
 
@@ -451,7 +475,7 @@ class RollbackSupport(RuntimeSupport):
                     self.metrics.revocations_denied_degraded += 1
                     vm.trace(
                         "revocation_denied", reporter, holder=holder,
-                        reason="degraded",
+                        mon=target.monitor, reason="degraded",
                     )
                     return False
                 if site.level == LADDER_INHERITANCE:
@@ -460,7 +484,7 @@ class RollbackSupport(RuntimeSupport):
                     self.metrics.revocations_denied_degraded += 1
                     vm.trace(
                         "revocation_denied", reporter, holder=holder,
-                        reason="degraded-inheritance",
+                        mon=target.monitor, reason="degraded-inheritance",
                     )
                     if requester is not None and donate_priority(
                         vm, self.metrics, requester, target.monitor
@@ -471,14 +495,14 @@ class RollbackSupport(RuntimeSupport):
                     self.metrics.revocations_denied_grace += 1
                     vm.trace(
                         "revocation_denied", reporter, holder=holder,
-                        reason="site-backoff",
+                        mon=target.monitor, reason="site-backoff",
                     )
                     return False
             if vm.clock.now < holder.grace_until:
                 self.metrics.revocations_denied_grace += 1
                 vm.trace(
                     "revocation_denied", reporter, holder=holder,
-                    reason="grace",
+                    mon=target.monitor, reason="grace",
                 )
                 return False
         current = holder.revocation_request
@@ -501,6 +525,7 @@ class RollbackSupport(RuntimeSupport):
             reporter,
             holder=holder,
             section=repr(target),
+            mon=target.monitor,
             origin=origin,
         )
         # A blocked or sleeping holder never reaches a yield point on its

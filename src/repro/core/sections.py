@@ -20,14 +20,11 @@ unwinds it.  It ties together everything a rollback needs:
 
 from __future__ import annotations
 
-import itertools
 from typing import TYPE_CHECKING, Optional
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.vm.monitors import Monitor
     from repro.vm.threads import Frame, VMThread
-
-_section_ids = itertools.count(1)
 
 #: why a section lost revocability (for traces, metrics and tests)
 REASON_DEPENDENCY = "read-write-dependency"
@@ -132,6 +129,7 @@ class Section:
         frame: "Frame",
         sync_id: object,
         *,
+        sid: int,
         slot: Optional[int],
         resume_pc: Optional[int],
         handler_pc: Optional[int],
@@ -139,7 +137,10 @@ class Section:
         recursive: bool,
         enter_time: int,
     ):
-        self.sid = next(_section_ids)
+        # allocated by the owning VM's RevocationManager, so section ids
+        # are a pure function of that VM's execution (snapshot/restore and
+        # trace determinism both depend on this — no process globals)
+        self.sid = sid
         self.thread = thread
         self.monitor = monitor
         self.frame = frame

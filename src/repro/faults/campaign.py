@@ -150,7 +150,6 @@ def _server_chaos_scenario() -> Scenario:
     """Open-system server under a chaos plan: retries, shedding, abort
     storms and the degradation ladder all engage while the auditor and
     :func:`repro.server.plane.check_server_invariants` watch."""
-    from repro.obs.capture import _reset_build_counters
     from repro.server.plane import server_invariant_check
     from repro.server.workload import ServerConfig, TierSpec, build_server
 
@@ -175,9 +174,6 @@ def _server_chaos_scenario() -> Scenario:
     )
 
     def build() -> Workload:
-        # sync/section ordinals are process-global; reset them so the
-        # cell is identical whether it runs first or fifth in a worker
-        _reset_build_counters()
         return build_server(config, SERVER_STREAM_SEED)
 
     return Scenario(

@@ -12,15 +12,14 @@ into one plain, picklable dict.
 across workers and land in the content-addressed on-disk cache exactly
 like benchmark runs do (keyed by the spec plus the source digest).
 
-Determinism: the process-global build counters (``Asm._sync_counter``,
-``repro.core.sections._section_ids``) are reset before every capture, so
-artifacts are byte-identical whether a capture runs first or fifth in a
-process, serially or in a worker pool, fresh or from cache.
+Determinism: sync-block ids are per-assembler and section ids are per-VM
+state (no process-global build counters survive anywhere), so artifacts
+are byte-identical whether a capture runs first or fifth in a process,
+serially or in a worker pool, fresh or from cache.
 """
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass
 from typing import Any, Optional
 
@@ -95,19 +94,9 @@ class _CounterSampler:
         samples.append((now, value))
 
 
-def _reset_build_counters() -> None:
-    """Zero the process-global assembly/run ordinals (see module doc)."""
-    from repro.core import sections
-    from repro.vm.assembler import Asm
-
-    Asm._sync_counter = 0
-    sections._section_ids = itertools.count(1)
-
-
 def capture_run(spec: ObsSpec) -> dict[str, Any]:
     """Run one scenario and return the complete artifact bundle."""
     scenario = get_scenario(spec.scenario)
-    _reset_build_counters()
     overrides = dict(scenario.options)
     overrides.setdefault("max_cycles", CAPTURE_CYCLE_CAP)
     options = VMOptions(
@@ -228,7 +217,6 @@ def capture_replay(
 
     mode = mode or payload["modes"][0]
     scenario = get_check_scenario(payload["scenario"])
-    _reset_build_counters()
     options = VMOptions(
         mode=mode,
         seed=CHECK_VM_SEED,

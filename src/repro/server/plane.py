@@ -263,7 +263,6 @@ def run_server_cell(spec: ServerSpec) -> dict:
     sweeps.  The report never mentions ``interp`` or worker counts: the
     byte-identity contract across both is pinned by tests.
     """
-    from repro.obs.capture import _reset_build_counters
     from repro.server.presets import get_preset
 
     config = get_preset(spec.preset)
@@ -271,7 +270,6 @@ def run_server_cell(spec: ServerSpec) -> dict:
         config = config.scaled(spec.requests)
     seed = sweep_seed("server", config.name, spec.seed_index)
     plan = spec_plan(spec)
-    _reset_build_counters()
     options = VMOptions(
         mode=spec.mode,
         scheduler=config.scheduler,

@@ -44,8 +44,6 @@ class Asm:
     so simple sequences can be chained.
     """
 
-    _sync_counter = 0
-
     def __init__(
         self,
         name: str,
@@ -56,6 +54,11 @@ class Asm:
         returns_value: bool = False,
     ):
         self.name = name
+        # per-builder ordinal for sync-block ids: sync_ids only need to be
+        # unique within one method (they key that method's rollback-scope
+        # map), and a process-global counter would make assembled bytecode
+        # depend on what else the process built first
+        self._sync_counter = 0
         self.argc = argc
         self.is_static = is_static
         self.synchronized = synchronized
@@ -280,8 +283,8 @@ class Asm:
 
         and registers the catch-all exception-table entry over the body.
         """
-        Asm._sync_counter += 1
-        sync_id = f"{self.name}#{Asm._sync_counter}"
+        self._sync_counter += 1
+        sync_id = f"{self.name}#{self._sync_counter}"
         tmp = self.local()
         self.store(tmp)
         self.load(tmp)

@@ -349,9 +349,23 @@ class JVM:
         """Drive every spawned thread to termination."""
         if self._ran:
             raise VMStateError("run() already completed for this VM")
+        self.begin_run()
+        self.scheduler.run()
+        return self.finish_run()
+
+    def begin_run(self) -> None:
+        """One-time pre-run work (load-time barrier elision); idempotent.
+
+        Split out of :meth:`run` so checkpoint-driven steppers
+        (:mod:`repro.check.dpor`) can own the ``scheduler.step()`` loop
+        while keeping the exact semantics of a plain ``run()``.
+        """
         if self.options.modified and self.options.barrier_elision:
             self._run_barrier_elision()
-        self.scheduler.run()
+
+    def finish_run(self) -> "JVM":
+        """Mark the run complete and surface the first uncaught guest
+        exception (honouring ``options.raise_on_uncaught``)."""
         self._ran = True
         if self.uncaught and self.options.raise_on_uncaught:
             thread, exc = self.uncaught[0]

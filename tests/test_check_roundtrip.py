@@ -125,6 +125,76 @@ class TestCliContract:
         fanned = capsys.readouterr().out
         assert serial == fanned
 
+
+class TestStrategyCliContract:
+    """The ``--strategy`` surface: every strategy reports its search
+    effort in one deterministic ``strategy=... explored=... pruned=...``
+    line — on stdout as ``reduction:`` and on stderr as ``repro.check``
+    (ahead of the timing-dependent engine stats) — byte-identical for
+    any ``REPRO_BENCH_JOBS`` value."""
+
+    @staticmethod
+    def _run(monkeypatch, capsys, jobs, *argv):
+        monkeypatch.setenv("REPRO_BENCH_JOBS", jobs)
+        rc = main(list(argv))
+        captured = capsys.readouterr()
+        return rc, captured.out, captured.err
+
+    def test_dpor_reduction_line_stable_across_worker_counts(
+        self, monkeypatch, capsys
+    ):
+        argv = ("--scenario", "mini-handoff", "--strategy", "dpor")
+        rc1, out1, err1 = self._run(monkeypatch, capsys, "1", *argv)
+        rc4, out4, err4 = self._run(monkeypatch, capsys, "4", *argv)
+        assert rc1 == rc4 == 0
+        assert out1 == out4                       # whole stdout is pure
+        assert "reduction: strategy=dpor explored=4 pruned=0 " \
+            "transitions=26 restores=3" in out1
+        # stderr leads with the same deterministic line in both runs
+        line1, line4 = err1.splitlines()[0], err4.splitlines()[0]
+        assert line1 == line4 == (
+            "repro.check strategy=dpor explored=4 pruned=0 "
+            "transitions=26 restores=3"
+        )
+
+    def test_header_names_the_strategy_and_drops_the_bound(self, capsys):
+        main(["--scenario", "mini-handoff", "--strategy", "dpor"])
+        out = capsys.readouterr().out
+        header = out.splitlines()[0]
+        assert "strategy=dpor" in header
+        assert "bound=" not in header             # dpor is unbounded
+
+    def test_exhaustive_and_random_report_their_strategies(self, capsys):
+        main(["--scenario", "mini-handoff", "--bound", "1"])
+        exhaustive = capsys.readouterr().out
+        assert "strategy=exhaustive" in exhaustive.splitlines()[0]
+        assert "reduction: strategy=exhaustive explored=" in exhaustive
+        main(["--scenario", "mini-handoff", "--strategy", "random",
+              "--walks", "6"])
+        random = capsys.readouterr().out
+        assert "strategy=random" in random.splitlines()[0]
+        assert "reduction: strategy=random explored=6" in random
+        assert "0 searched + 6 walks" in random
+
+    def test_dpor_counterexample_roundtrips_through_replay(
+        self, tmp_path, capsys
+    ):
+        out = tmp_path / "ce-dpor.json"
+        rc = main([
+            "--scenario", "mini-handoff", "--strategy", "dpor",
+            "--inject-bug", "undo-drop", "--out", str(out),
+        ])
+        explored = capsys.readouterr().out
+        assert rc == 1
+        assert "FAIL: 1 divergent schedule(s)" in explored
+
+        payload = json.loads(out.read_text())
+        assert payload["scenario"] == "mini-handoff"
+        assert replay_counterexample(payload)["reproduced"]
+        rc2 = main(["--replay", str(out)])
+        assert rc2 == 0
+        assert "divergence reproduced" in capsys.readouterr().out
+
     def test_list_names_all_scenarios(self, capsys):
         assert main(["--list"]) == 0
         out = capsys.readouterr().out

@@ -1,5 +1,7 @@
 """Unit tests for Section records and the bytecode module helpers."""
 
+import itertools
+
 import pytest
 
 from repro.core.sections import (
@@ -24,12 +26,17 @@ def make_thread(tid=1):
     return VMThread(tid, f"t{tid}", m, [])
 
 
+#: sids are allocated by the owning VM's RevocationManager in production;
+#: these unit tests stand in for it with a plain counter
+_sids = itertools.count(1)
+
+
 def make_section(thread, *, slot=0, handler_pc=5, recursive=False):
     mon = Monitor(VMObject(1, ClassDef("C")))
     frame = Frame(thread.entry_method, [], 0)
     return Section(
         thread, mon, frame, f"sync#{slot}",
-        slot=slot, resume_pc=1, handler_pc=handler_pc,
+        sid=next(_sids), slot=slot, resume_pc=1, handler_pc=handler_pc,
         log_mark=0, recursive=recursive, enter_time=100,
     )
 
@@ -83,7 +90,7 @@ class TestThreadSectionHelpers:
         t.sections.append(outer)
         recursive = Section(
             t, outer.monitor, outer.frame, "sync#9",
-            slot=1, resume_pc=1, handler_pc=7,
+            sid=next(_sids), slot=1, resume_pc=1, handler_pc=7,
             log_mark=0, recursive=True, enter_time=200,
         )
         t.sections.append(recursive)

@@ -17,7 +17,6 @@ import pytest
 
 from repro.check import final_fingerprint, fingerprint_digest
 from repro.faults import campaign
-from repro.obs.capture import _reset_build_counters
 from repro.server.plane import (
     CHAOS_PLAN,
     AbortStormDetector,
@@ -34,7 +33,6 @@ from repro.vm.vmcore import JVM, VMOptions
 def _storm_run(interp="fast", trace=True):
     config = get_preset("storm")
     seed = sweep_seed("server", config.name, 1)
-    _reset_build_counters()
     options = VMOptions(
         mode="rollback",
         scheduler="priority",

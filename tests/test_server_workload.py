@@ -13,7 +13,6 @@ import json
 import pytest
 
 from repro.check import final_fingerprint, fingerprint_digest
-from repro.obs.capture import _reset_build_counters
 from repro.server.plane import (
     AbortStormDetector,
     check_server_invariants,
@@ -54,7 +53,6 @@ def _small() -> ServerConfig:
 
 
 def _run(config, seed=SEED, mode="rollback", detector=True, **overrides):
-    _reset_build_counters()
     options = VMOptions(
         mode=mode,
         scheduler="priority",

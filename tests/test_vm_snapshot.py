@@ -1,0 +1,199 @@
+"""Snapshot fidelity property tests.
+
+The contract (``repro.vm.snapshot``): a restored VM driven forward with
+the same scheduling choices is *byte-identical* to a from-zero replay of
+the full schedule — final clock, clock-event count, rendered trace,
+metrics dict, and final-state fingerprint all agree exactly.  Anything a
+deepcopy might silently share (heap aliasing), drop (RNG state, undo
+logs, degradation ladders), or double-count (profiler listener re-wiring)
+breaks one of these five comparisons.
+
+The matrix crosses scenarios (locked handoff with revocation, priority
+barge, unprotected race) with both interpreters (``reference`` and
+``fast`` — the fast interpreter's predecode caches are host-side closures
+that must be dropped and rebuilt, not cloned) and seeded random-walk
+drivers.  The revocation case additionally checkpoints at *every*
+decision of a schedule known to revoke, so snapshots taken mid-rollback
+(live undo log, in-flight section records) are covered, not just quiet
+points.
+"""
+
+import pytest
+
+from repro.check.dpor import SteppingRun
+from repro.check.oracle import final_fingerprint, fingerprint_digest
+from repro.check.scenarios import get_scenario
+from repro.util.rng import DeterministicRng
+from repro.vm.snapshot import snapshot_vm
+
+#: the mini-handoff schedule (from the pinned DPOR tree) whose replay
+#: preempts the low thread mid-section and triggers a revocation
+REVOKING_SCHEDULE = (0, 1, 0, 1, 1, 0, 1, 0, 0)
+
+
+def _observe(run: SteppingRun, outcome: str) -> dict:
+    """Everything the fidelity contract compares, as plain data."""
+    vm = run.vm
+    return {
+        "outcome": outcome,
+        "clock": vm.clock.now,
+        "clock_events": vm.clock.events,
+        "trace": vm.tracer.render(),
+        "metrics": vm.metrics(),
+        "digest": fingerprint_digest(final_fingerprint(vm, outcome)),
+        "schedule": tuple(run.schedule),
+    }
+
+
+def _stepping_run(name: str, interp: str) -> SteppingRun:
+    # memory tracing forces the reference interpreter, so the fast-interp
+    # leg of the matrix runs without per-location events
+    return SteppingRun(
+        get_scenario(name), "rollback",
+        interp=interp, trace_memory=interp == "reference",
+    )
+
+
+def _random_walk_with_checkpoint(name, interp, seed, checkpoint_at):
+    """Drive a seeded random walk, checkpointing at decision
+    ``checkpoint_at``; finish the walk and return
+    (checkpoint, full choice list, observations of the original run)."""
+    rng = DeterministicRng(seed)
+    run = _stepping_run(name, interp)
+    checkpoint = None
+    choices = []
+    while True:
+        kind, data = run.advance()
+        if kind == "done":
+            assert checkpoint is not None, (
+                f"walk ended after {len(choices)} decisions, before the "
+                f"requested checkpoint at {checkpoint_at}"
+            )
+            return checkpoint, choices, _observe(run, data)
+        if len(choices) == checkpoint_at:
+            checkpoint = run.checkpoint()
+        tid = data[rng.randint(0, len(data) - 1)]
+        run.choose(tid)
+        choices.append(tid)
+
+
+CASES = [
+    (name, interp, seed)
+    for name in ("mini-handoff", "mini-barge", "mini-racy")
+    for interp in ("reference", "fast")
+    for seed in (7, 1234)
+]
+
+
+@pytest.mark.parametrize(
+    "name,interp,seed", CASES,
+    ids=[f"{n}-{i}-s{s}" for n, i, s in CASES],
+)
+def test_restored_continuation_matches_from_zero_replay(
+    name, interp, seed
+):
+    checkpoint, choices, original = _random_walk_with_checkpoint(
+        name, interp, seed, checkpoint_at=3
+    )
+
+    # leg 1: resume from the checkpoint, replay the remaining choices
+    resumed = SteppingRun.resume(checkpoint)
+    assert resumed.schedule == choices[:3]
+    outcome = resumed.drive(choices)
+    assert _observe(resumed, outcome) == original
+
+    # leg 2: from-zero replay of the full schedule on a fresh VM
+    replay = _stepping_run(name, interp)
+    outcome = replay.drive(choices)
+    assert _observe(replay, outcome) == original
+
+
+def test_one_checkpoint_seeds_independent_divergent_continuations():
+    """Restores are isolated clones: two continuations from one
+    checkpoint can diverge without contaminating each other or the
+    master, and a third restore still reproduces the first's result."""
+    checkpoint, choices, _ = _random_walk_with_checkpoint(
+        "mini-racy", "reference", 99, checkpoint_at=2
+    )
+    a = SteppingRun.resume(checkpoint)
+    b = SteppingRun.resume(checkpoint)
+    kind_a, tids_a = a.advance()
+    kind_b, tids_b = b.advance()
+    assert (kind_a, tids_a) == (kind_b, tids_b) == ("decision", tids_a)
+    # drive them apart: a takes the first candidate everywhere, b the last
+    while a.advance()[0] == "decision":
+        a.choose(a.pending[0])
+    while b.advance()[0] == "decision":
+        b.choose(b.pending[-1])
+    out_a = _observe(a, a.outcome)
+    out_b = _observe(b, b.outcome)
+    assert out_a["schedule"] != out_b["schedule"]
+
+    # a third restore retracing a's choices reproduces a byte-for-byte
+    c = SteppingRun.resume(checkpoint)
+    outcome = c.drive(out_a["schedule"])
+    assert _observe(c, outcome) == out_a
+
+
+@pytest.mark.parametrize("interp", ["reference", "fast"])
+def test_checkpoint_at_every_decision_of_a_revoking_schedule(interp):
+    """Walk the revoking schedule, checkpointing at each decision —
+    including the ones where a rollback is in flight — and require every
+    resumed continuation to land on the from-zero observation."""
+    baseline = _stepping_run("mini-handoff", interp)
+    outcome = baseline.drive(REVOKING_SCHEDULE)
+    expected = _observe(baseline, outcome)
+    if interp == "reference":
+        revocations = sum(t.revocations for t in baseline.vm.threads)
+        assert revocations > 0, "schedule no longer revokes; re-pin it"
+
+    for stop in range(len(REVOKING_SCHEDULE)):
+        run = _stepping_run("mini-handoff", interp)
+        for tid in REVOKING_SCHEDULE[:stop]:
+            kind, data = run.advance()
+            assert kind == "decision"
+            run.choose(tid if tid in data else run.default_choice(data))
+        kind, _ = run.advance()
+        if kind == "done":
+            break
+        resumed = SteppingRun.resume(run.checkpoint())
+        outcome = resumed.drive(REVOKING_SCHEDULE)
+        assert _observe(resumed, outcome) == expected, (
+            f"divergence resuming from decision {stop}"
+        )
+
+
+def test_snapshot_leaves_the_original_run_untouched():
+    """snapshot_vm detaches observers during the deepcopy and must put
+    every one of them back: the donor run continues exactly as if never
+    snapshotted."""
+    undisturbed = _stepping_run("mini-handoff", "reference")
+    outcome = undisturbed.drive(REVOKING_SCHEDULE)
+    expected = _observe(undisturbed, outcome)
+
+    donor = _stepping_run("mini-handoff", "reference")
+    for tid in REVOKING_SCHEDULE[:4]:
+        kind, data = donor.advance()
+        assert kind == "decision"
+        donor.checkpoint()                 # snapshot, discard, keep going
+        donor.choose(tid if tid in data else donor.default_choice(data))
+    outcome = donor.drive(REVOKING_SCHEDULE)
+    assert _observe(donor, outcome) == expected
+
+
+def test_snapshot_requires_a_quiescent_vm():
+    run = _stepping_run("mini-handoff", "reference")
+    kind, data = run.advance()
+    assert kind == "decision"
+    vm = run.vm
+    vm.current_thread = vm.threads[0]      # simulate a slice in flight
+    with pytest.raises(ValueError, match="quiescent"):
+        snapshot_vm(vm)
+    vm.current_thread = None
+    snapshot_vm(vm)                        # quiescent again: fine
+
+
+def test_checkpoint_requires_a_pending_decision():
+    run = _stepping_run("mini-handoff", "reference")
+    with pytest.raises(RuntimeError, match="pending decision"):
+        run.checkpoint()
