@@ -7,6 +7,7 @@ Examples::
     python -m repro.bench 7c --csv out.csv   # export the series
     python -m repro.bench all                # every panel (slow)
     REPRO_BENCH_JOBS=4 python -m repro.bench all   # parallel workers
+    python -m repro.bench all --fleet local:4      # loopback worker fleet
     python -m repro.bench --host-perf        # interpreter wall-clock baseline
     python -m repro.bench 5a --host-perf     # host-perf on one panel only
 
@@ -27,6 +28,11 @@ import sys
 
 from repro.bench.figures import FigurePanel, all_panels, run_panel
 from repro.bench.parallel import ResultCache, RunEngine
+from repro.fleet.cli import (
+    add_fleet_args,
+    resolve_fleet_engine,
+    run_fleet_worker,
+)
 from repro.bench.report import (
     panel_json,
     render_engine_stats,
@@ -165,8 +171,11 @@ def main(argv: list[str] | None = None) -> int:
              "rollback cell to PATH (implies an obs capture; cached "
              "through the same engine as the benchmark runs)",
     )
+    add_fleet_args(parser)
     args = parser.parse_args(argv)
 
+    if args.fleet == "worker":
+        return run_fleet_worker(args)
     if args.host_perf:
         return _host_perf(args)
     if args.panel is None:
@@ -181,6 +190,9 @@ def main(argv: list[str] | None = None) -> int:
         engine = RunEngine(
             jobs=engine.jobs, cache=ResultCache(args.cache_dir)
         )
+    fleet = resolve_fleet_engine(args, engine.cache)
+    if fleet is not None:
+        engine = fleet
 
     panels = (
         all_panels() if args.panel == "all"
@@ -188,26 +200,31 @@ def main(argv: list[str] | None = None) -> int:
     )
     if (args.profile or args.trace_out) and len(panels) > 1:
         parser.error("--profile/--trace-out need a single panel, not 'all'")
-    for panel in panels:
-        result = run_panel(
-            panel, repetitions=args.reps, seed=args.seed, engine=engine
-        )
-        if args.json:
-            print(panel_json(result))
-        else:
-            print(render_panel(result))
-        # Execution stats go to stderr: stdout must stay byte-identical
-        # across jobs/cache settings (the determinism contract).
-        if result.stats is not None:
-            stats = render_engine_stats(result.stats)
-            print(f"[{panel.figure}{panel.panel}] {stats}", file=sys.stderr)
-        if args.csv:
-            write_csv(result, args.csv)
-            print(f"series written to {args.csv}", file=sys.stderr)
-        if args.profile or args.trace_out:
-            _observe_panel(panel, args, engine)
-    if len(panels) > 1:
-        print(f"[total] {engine.stats.render()}", file=sys.stderr)
+    try:
+        for panel in panels:
+            result = run_panel(
+                panel, repetitions=args.reps, seed=args.seed, engine=engine
+            )
+            if args.json:
+                print(panel_json(result))
+            else:
+                print(render_panel(result))
+            # Execution stats go to stderr: stdout must stay
+            # byte-identical across jobs/cache/fleet settings (the
+            # determinism contract).
+            if result.stats is not None:
+                stats = render_engine_stats(result.stats)
+                print(f"[{panel.figure}{panel.panel}] {stats}",
+                      file=sys.stderr)
+            if args.csv:
+                write_csv(result, args.csv)
+                print(f"series written to {args.csv}", file=sys.stderr)
+            if args.profile or args.trace_out:
+                _observe_panel(panel, args, engine)
+        if len(panels) > 1:
+            print(f"[total] {engine.stats.render()}", file=sys.stderr)
+    finally:
+        engine.close()
     return 0
 
 

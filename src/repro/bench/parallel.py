@@ -34,6 +34,7 @@ from __future__ import annotations
 
 import dataclasses
 import hashlib
+import logging
 import os
 import pickle
 import time
@@ -55,6 +56,7 @@ __all__ = [
     "cache_key",
     "execute_spec",
     "guest_instructions",
+    "payload_digest",
     "source_digest",
     "spec_key",
 ]
@@ -145,8 +147,30 @@ def source_digest() -> str:
 
 
 # ------------------------------------------------------------- disk cache
+_cache_log = logging.getLogger("repro.bench.cache")
+
+#: entry header: magic + hex sha-256 of the pickled payload + newline
+_CACHE_MAGIC = b"repro-cache/2 "
+_DIGEST_LEN = 64
+
+
+def payload_digest(payload: bytes) -> str:
+    """Integrity digest of a serialized cache/store payload."""
+    return hashlib.sha256(payload).hexdigest()
+
+
 class ResultCache:
-    """Content-addressed pickle store: one file per completed run."""
+    """Content-addressed artifact store: one file per completed run.
+
+    Every entry is written as ``magic + sha256(payload) + payload`` and
+    the digest is verified again on **read**: a truncated, corrupted or
+    foreign file logs loudly and reads as a miss, so a damaged store can
+    slow a sweep down (recompute) but never poison a report.  The same
+    ``(payload, digest)`` byte format travels over the fleet wire
+    protocol (:mod:`repro.fleet`), which makes this cache the shared
+    artifact store of a distributed run: workers push verified payloads,
+    coordinators re-verify before storing or serving them.
+    """
 
     def __init__(self, directory: os.PathLike | str = DEFAULT_CACHE_DIR):
         self.directory = Path(directory)
@@ -154,25 +178,91 @@ class ResultCache:
     def _path(self, key: str) -> Path:
         return self.directory / key[:2] / f"{key}.pkl"
 
-    def get(self, key: str) -> Optional[Any]:
-        """The cached value, or None on a miss (or an unreadable entry)."""
+    def get_bytes(self, key: str) -> Optional[tuple[bytes, str]]:
+        """The verified ``(payload, digest)`` of an entry, or None.
+
+        A missing file is a silent miss; a file that exists but fails
+        the magic/digest check is *corruption* — logged loudly, removed
+        so the recompute can rewrite it, and reported as a miss.
+        """
         path = self._path(key)
         try:
             with open(path, "rb") as fh:
-                return pickle.load(fh)
-        except (OSError, pickle.UnpicklingError, EOFError,
-                AttributeError, ImportError):
+                data = fh.read()
+        except OSError:
+            return None
+        header = len(_CACHE_MAGIC) + _DIGEST_LEN
+        reason = None
+        if len(data) < header or not data.startswith(_CACHE_MAGIC):
+            reason = "bad or missing header"
+        else:
+            digest = data[len(_CACHE_MAGIC):header].decode("ascii", "replace")
+            payload = data[header:]
+            if payload_digest(payload) != digest:
+                reason = "sha-256 digest mismatch"
+        if reason is not None:
+            _cache_log.warning(
+                "cache entry %s is corrupt (%s); discarding it and "
+                "recomputing the run", path, reason,
+            )
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+            return None
+        return payload, digest
+
+    def get(self, key: str) -> Optional[Any]:
+        """The cached value, or None on a miss (or a corrupt entry)."""
+        entry = self.get_bytes(key)
+        if entry is None:
+            return None
+        payload, _ = entry
+        try:
+            return pickle.loads(payload)
+        except (pickle.UnpicklingError, EOFError, AttributeError,
+                ImportError, IndexError, ValueError, TypeError):
+            _cache_log.warning(
+                "cache entry %s passed its integrity digest but failed to "
+                "unpickle; discarding it and recomputing the run",
+                self._path(key),
+            )
+            try:
+                os.unlink(self._path(key))
+            except OSError:
+                pass
             return None
 
-    def put(self, key: str, value: Any) -> None:
+    def put_bytes(
+        self, key: str, payload: bytes, digest: Optional[str] = None
+    ) -> str:
+        """Store an already-pickled payload; returns its digest.
+
+        ``digest``, when given, must match the payload (the fleet
+        coordinator passes the digest it verified on receipt).
+        """
+        actual = payload_digest(payload)
+        if digest is not None and digest != actual:
+            raise ValueError(
+                f"refusing to store payload whose digest {actual[:12]}... "
+                f"does not match the claimed {digest[:12]}..."
+            )
         path = self._path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
         # Write-then-rename: a crashed run can leave a stale temp file but
         # never a truncated cache entry.
         tmp = path.with_suffix(f".tmp.{os.getpid()}")
         with open(tmp, "wb") as fh:
-            pickle.dump(value, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            fh.write(_CACHE_MAGIC)
+            fh.write(actual.encode("ascii"))
+            fh.write(payload)
         os.replace(tmp, path)
+        return actual
+
+    def put(self, key: str, value: Any) -> None:
+        self.put_bytes(
+            key, pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+        )
 
 
 # ------------------------------------------------------------------ stats
@@ -223,6 +313,44 @@ class EngineStats:
     guest_instructions: int = 0
     #: guest instructions per run (0 for cache hits), in matrix order
     run_instructions: list[int] = field(default_factory=list, repr=False)
+    #: tasks re-queued after a worker died or went silent mid-lease
+    reassigned: int = 0
+    #: result frames whose payload failed its integrity digest on receipt
+    digest_failures: int = 0
+    #: per-worker breakdown — worker name -> counters.  Cache hits served
+    #: before dispatch are credited to the pseudo-worker "coordinator";
+    #: the aggregate fields above are always the exact sums of these.
+    workers: dict[str, dict[str, Any]] = field(
+        default_factory=dict, repr=False
+    )
+
+    def worker(self, name: str) -> dict[str, Any]:
+        """The (mutable) per-worker counter record for ``name``."""
+        return self.workers.setdefault(name, {
+            "tasks": 0,
+            "cache_hits": 0,
+            "run_wall": 0.0,
+            "bytes_sent": 0,
+            "bytes_received": 0,
+        })
+
+    def credit(
+        self,
+        name: str,
+        *,
+        tasks: int = 0,
+        cache_hits: int = 0,
+        run_wall: float = 0.0,
+        bytes_sent: int = 0,
+        bytes_received: int = 0,
+    ) -> None:
+        """Add counters to one worker's record (creating it on demand)."""
+        rec = self.worker(name)
+        rec["tasks"] += tasks
+        rec["cache_hits"] += cache_hits
+        rec["run_wall"] += run_wall
+        rec["bytes_sent"] += bytes_sent
+        rec["bytes_received"] += bytes_received
 
     def merge(self, other: "EngineStats") -> None:
         self.runs += other.runs
@@ -233,6 +361,10 @@ class EngineStats:
         self.run_walls.extend(other.run_walls)
         self.guest_instructions += other.guest_instructions
         self.run_instructions.extend(other.run_instructions)
+        self.reassigned += other.reassigned
+        self.digest_failures += other.digest_failures
+        for name, rec in other.workers.items():
+            self.credit(name, **rec)
 
     def ips(self) -> float:
         """Guest instructions per host second over the executed runs."""
@@ -256,13 +388,54 @@ class EngineStats:
             )
         return line
 
+    def render_workers(self) -> list[str]:
+        """One line per worker: the imbalance picture of a fleet/pool.
+
+        Empty when the breakdown is trivial (a single execution lane and
+        no remote traffic), so serial stderr output stays unchanged.
+        """
+        lanes = [n for n in self.workers if n != "coordinator"]
+        moved = any(
+            rec["bytes_sent"] or rec["bytes_received"]
+            for rec in self.workers.values()
+        )
+        if len(lanes) <= 1 and not moved:
+            return []
+        lines = []
+        for name in sorted(self.workers):
+            rec = self.workers[name]
+            line = (
+                f"  worker {name}: {rec['tasks']} tasks, "
+                f"{rec['cache_hits']} cache hits, "
+                f"{rec['run_wall']:.2f}s run wall"
+            )
+            if rec["bytes_sent"] or rec["bytes_received"]:
+                line += (
+                    f", {rec['bytes_sent']}B out / "
+                    f"{rec['bytes_received']}B in"
+                )
+            lines.append(line)
+        if self.reassigned:
+            lines.append(
+                f"  {self.reassigned} task(s) reassigned after worker "
+                "death"
+            )
+        if self.digest_failures:
+            lines.append(
+                f"  {self.digest_failures} result(s) failed integrity "
+                "verification and were re-executed"
+            )
+        return lines
+
 
 # ----------------------------------------------------------------- engine
-def _timed_call(fn: Callable[[Any], Any], item: Any) -> tuple[Any, float]:
-    """Worker entry point: run one task and report its wall clock."""
+def _timed_call(
+    fn: Callable[[Any], Any], item: Any
+) -> tuple[Any, float, str]:
+    """Worker entry point: run one task, report wall clock and lane."""
     t0 = time.perf_counter()
     result = fn(item)
-    return result, time.perf_counter() - t0
+    return result, time.perf_counter() - t0, f"pool-{os.getpid()}"
 
 
 def _env_jobs() -> int:
@@ -309,6 +482,10 @@ class RunEngine:
         """Build an engine from the ``REPRO_BENCH_*`` environment knobs."""
         return cls(jobs=_env_jobs(), cache=_env_cache())
 
+    def close(self) -> None:
+        """Release engine resources (a no-op for the local engine; the
+        fleet engine overrides this to drain its workers)."""
+
     def map(
         self,
         fn: Callable[[Any], Any],
@@ -338,15 +515,17 @@ class RunEngine:
                 if hit is not None:
                     results[i] = hit
                     stats.cache_hits += 1
+                    stats.credit("coordinator", cache_hits=1)
                     continue
             pending.append(i)
 
         stats.executed = len(pending)
         if self.jobs == 1 or len(pending) <= 1:
             for i in pending:
-                results[i], wall = _timed_call(fn, items[i])
+                results[i], wall, lane = _timed_call(fn, items[i])
                 stats.run_walls[i] = wall
                 stats.run_wall += wall
+                stats.credit("inline", tasks=1, run_wall=wall)
         else:
             workers = min(self.jobs, len(pending))
             with ProcessPoolExecutor(max_workers=workers) as pool:
@@ -361,9 +540,10 @@ class RunEngine:
                     )
                     for fut in done:
                         i = futures[fut]
-                        results[i], wall = fut.result()
+                        results[i], wall, lane = fut.result()
                         stats.run_walls[i] = wall
                         stats.run_wall += wall
+                        stats.credit(lane, tasks=1, run_wall=wall)
 
         for i in pending:
             gi = guest_instructions(results[i])

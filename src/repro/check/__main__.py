@@ -107,16 +107,21 @@ def _parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--list", action="store_true", help="list scenarios and exit"
     )
+    from repro.fleet.cli import add_fleet_args
+
+    add_fleet_args(parser)
     return parser
 
 
-def _engine(jobs: int | None):
+def _engine(args):
     from repro.bench.parallel import RunEngine
+    from repro.fleet.cli import resolve_fleet_engine
 
     engine = RunEngine.from_env()
-    if jobs is not None:
-        engine = RunEngine(jobs=max(1, jobs), cache=engine.cache)
-    return engine
+    if args.jobs is not None:
+        engine = RunEngine(jobs=max(1, args.jobs), cache=engine.cache)
+    fleet = resolve_fleet_engine(args, engine.cache)
+    return fleet if fleet is not None else engine
 
 
 def _cmd_list() -> int:
@@ -183,34 +188,41 @@ def main(argv: list[str] | None = None) -> int:
     args = _parser().parse_args(argv)
     if args.list:
         return _cmd_list()
+    if args.fleet == "worker":
+        from repro.fleet.cli import run_fleet_worker
+
+        return run_fleet_worker(args)
     if args.replay is not None:
         return _cmd_replay(args.replay, args.trace_out, args.trace_mode)
     if args.lockset is not None:
         return _cmd_lockset(args.lockset)
 
     modes = tuple(m.strip() for m in args.modes.split(",") if m.strip())
-    engine = _engine(args.jobs)
-    if args.strategy == "dpor":
-        from repro.check.dpor import explore_dpor
+    engine = _engine(args)
+    try:
+        if args.strategy == "dpor":
+            from repro.check.dpor import explore_dpor
 
-        report = explore_dpor(
-            args.scenario,
-            modes=modes,
-            inject=args.inject_bug,
-            engine=engine,
-        )
-    else:
-        report = explore(
-            args.scenario,
-            args.bound,
-            modes=modes,
-            inject=args.inject_bug,
-            walks=args.walks if args.strategy == "exhaustive"
-            else (args.walks or 64),
-            walk_bound=args.walk_bound,
-            engine=engine,
-            exhaustive=args.strategy == "exhaustive",
-        )
+            report = explore_dpor(
+                args.scenario,
+                modes=modes,
+                inject=args.inject_bug,
+                engine=engine,
+            )
+        else:
+            report = explore(
+                args.scenario,
+                args.bound,
+                modes=modes,
+                inject=args.inject_bug,
+                walks=args.walks if args.strategy == "exhaustive"
+                else (args.walks or 64),
+                walk_bound=args.walk_bound,
+                engine=engine,
+                exhaustive=args.strategy == "exhaustive",
+            )
+    finally:
+        engine.close()
     bound_part = "" if report.bound < 0 else f" bound={report.bound}"
     print(f"repro.check scenario={report.scenario} "
           f"strategy={report.strategy}{bound_part} "
@@ -231,6 +243,8 @@ def main(argv: list[str] | None = None) -> int:
     print(f"divergences: {len(report.divergences)}")
     print(f"repro.check {report.reduction_line()}", file=sys.stderr)
     print(engine.stats.render(), file=sys.stderr)
+    for line in engine.stats.render_workers():
+        print(line, file=sys.stderr)
     if not report.divergences:
         print("OK: all explored schedules are policy-equivalent")
         return 0

@@ -1,0 +1,107 @@
+"""Shared ``--fleet`` CLI plumbing for bench / check / server / fleet.
+
+Every campaign CLI accepts the same three-mode flag::
+
+    --fleet local:N       coordinator + N loopback worker subprocesses
+    --fleet coordinator   bind --fleet-bind, wait for --fleet-workers
+                          external workers, then run the campaign
+    --fleet worker        connect to --fleet-connect and serve tasks
+                          (the campaign arguments are ignored)
+
+so a multi-host run is "start the coordinator command on one box, start
+the same command with ``--fleet worker --fleet-connect host:port`` on
+the others".  Campaign stdout stays byte-identical to the serial run in
+every mode — the fleet only changes where the pure runs execute.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional
+
+from repro.bench.parallel import ResultCache, RunEngine
+
+__all__ = [
+    "add_fleet_args",
+    "parse_hostport",
+    "resolve_fleet_engine",
+    "run_fleet_worker",
+]
+
+
+def add_fleet_args(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_argument_group("fleet")
+    group.add_argument(
+        "--fleet", default=None, metavar="MODE",
+        help="distributed execution: 'local:N' (N loopback worker "
+             "subprocesses), 'coordinator' (bind --fleet-bind, wait for "
+             "--fleet-workers external workers), or 'worker' (serve "
+             "--fleet-connect; campaign arguments are ignored)",
+    )
+    group.add_argument(
+        "--fleet-bind", default="0.0.0.0:0", metavar="HOST:PORT",
+        help="coordinator listen address (default 0.0.0.0:0 — an "
+             "ephemeral port, printed on stderr)",
+    )
+    group.add_argument(
+        "--fleet-connect", default=None, metavar="HOST:PORT",
+        help="coordinator address a worker should dial",
+    )
+    group.add_argument(
+        "--fleet-workers", type=int, default=2, metavar="N",
+        help="workers a coordinator waits for before starting "
+             "(default 2)",
+    )
+
+
+def parse_hostport(text: str) -> tuple[str, int]:
+    host, sep, port = text.rpartition(":")
+    if not sep or not host:
+        raise ValueError(f"expected HOST:PORT, got {text!r}")
+    return host, int(port)
+
+
+def run_fleet_worker(args: argparse.Namespace) -> int:
+    """The ``--fleet worker`` path, shared by every campaign CLI."""
+    from repro.bench.parallel import _env_cache
+    from repro.fleet.worker import serve
+
+    if not args.fleet_connect:
+        print(
+            "--fleet worker needs --fleet-connect HOST:PORT",
+            file=sys.stderr,
+        )
+        return 2
+    host, port = parse_hostport(args.fleet_connect)
+    served = serve(host, port, cache=_env_cache())
+    print(f"fleet worker served {served} task(s)", file=sys.stderr)
+    return 0
+
+
+def resolve_fleet_engine(
+    args: argparse.Namespace, cache: Optional[ResultCache]
+) -> Optional[RunEngine]:
+    """The engine for ``--fleet local:N`` / ``--fleet coordinator``.
+
+    Returns None when no fleet mode is requested (caller keeps its local
+    engine).  ``--fleet worker`` is not an engine — route it through
+    :func:`run_fleet_worker` before building any engine.
+    """
+    mode = args.fleet
+    if mode is None:
+        return None
+    from repro.fleet.engine import FleetEngine
+
+    if mode.startswith("local:"):
+        workers = int(mode.split(":", 1)[1])
+        return FleetEngine.local(workers, cache=cache)
+    if mode == "coordinator":
+        host, port = parse_hostport(args.fleet_bind)
+        return FleetEngine.coordinate(
+            host, port, workers=max(1, args.fleet_workers), cache=cache
+        )
+    raise ValueError(
+        f"unknown --fleet mode {mode!r} "
+        "(expected local:N, coordinator or worker)"
+    )

@@ -108,18 +108,23 @@ def _parser() -> argparse.ArgumentParser:
         "--list", action="store_true",
         help="list preset names and exit",
     )
+    from repro.fleet.cli import add_fleet_args
+
+    add_fleet_args(parser)
     return parser
 
 
 def _engine(args):
     from repro.bench.parallel import RunEngine
+    from repro.fleet.cli import resolve_fleet_engine
 
     engine = RunEngine.from_env()
     if args.jobs is not None:
         engine = RunEngine(jobs=max(1, args.jobs), cache=engine.cache)
     if args.no_cache:
         engine = RunEngine(jobs=engine.jobs, cache=None)
-    return engine
+    fleet = resolve_fleet_engine(args, engine.cache)
+    return fleet if fleet is not None else engine
 
 
 def _cmd_list() -> int:
@@ -192,8 +197,13 @@ def run_sweep(args) -> dict:
             for index in range(1, args.seeds + 1)
         ]
     engine = _engine(args)
-    cells = engine.map(run_server_cell, specs, key_fn=server_cell_key)
+    try:
+        cells = engine.map(run_server_cell, specs, key_fn=server_cell_key)
+    finally:
+        engine.close()
     print(engine.stats.render(), file=sys.stderr)
+    for line in engine.stats.render_workers():
+        print(line, file=sys.stderr)
     runs = cells[: args.seeds]
     report = {
         "preset": args.preset,
@@ -223,6 +233,10 @@ def main(argv: list[str] | None = None) -> int:
     args = _parser().parse_args(argv)
     if args.list:
         return _cmd_list()
+    if args.fleet == "worker":
+        from repro.fleet.cli import run_fleet_worker
+
+        return run_fleet_worker(args)
     if args.requests and args.requests < len(get_preset(args.preset).tiers):
         _parser().error("--requests must cover at least one per tier")
     if args.replay is not None:

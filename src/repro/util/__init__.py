@@ -2,6 +2,7 @@
 summary statistics with confidence intervals, and plain-text rendering of
 tables and line charts for benchmark reports."""
 
+from repro.util.reservoir import DEFAULT_CAPACITY, LatencyReservoir
 from repro.util.rng import DeterministicRng, derive_seed
 from repro.util.stats import (
     Summary,
@@ -13,6 +14,8 @@ from repro.util.stats import (
 from repro.util.fmt import ascii_chart, format_table
 
 __all__ = [
+    "DEFAULT_CAPACITY",
+    "LatencyReservoir",
     "DeterministicRng",
     "derive_seed",
     "Summary",

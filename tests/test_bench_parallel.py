@@ -133,6 +133,76 @@ class TestResultCache:
         assert cache.get(key) is None
 
 
+class TestCacheIntegrity:
+    """Digest-verified reads: a damaged store recomputes, never poisons."""
+
+    KEY = "ab" + "0" * 62
+
+    def _entry(self, tmp_path) -> tuple[ResultCache, bytes]:
+        cache = ResultCache(tmp_path)
+        cache.put(self.KEY, {"value": 123})
+        return cache, cache._path(self.KEY).read_bytes()
+
+    def test_roundtrip_bytes_and_digest(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        digest = cache.put_bytes(self.KEY, b"payload-bytes")
+        assert digest == par.payload_digest(b"payload-bytes")
+        assert cache.get_bytes(self.KEY) == (b"payload-bytes", digest)
+
+    def test_flipped_payload_byte_detected(self, tmp_path, caplog):
+        cache, data = self._entry(tmp_path)
+        corrupted = data[:-1] + bytes([data[-1] ^ 0xFF])
+        cache._path(self.KEY).write_bytes(corrupted)
+        with caplog.at_level("WARNING", logger="repro.bench.cache"):
+            assert cache.get(self.KEY) is None
+        assert "corrupt" in caplog.text
+        assert "digest mismatch" in caplog.text
+        # the damaged file was removed so a recompute can rewrite it
+        assert not cache._path(self.KEY).exists()
+
+    def test_truncated_entry_detected(self, tmp_path, caplog):
+        cache, data = self._entry(tmp_path)
+        cache._path(self.KEY).write_bytes(data[: len(data) - 5])
+        with caplog.at_level("WARNING", logger="repro.bench.cache"):
+            assert cache.get(self.KEY) is None
+        assert "corrupt" in caplog.text
+        assert not cache._path(self.KEY).exists()
+
+    def test_foreign_header_detected(self, tmp_path, caplog):
+        cache, _ = self._entry(tmp_path)
+        cache._path(self.KEY).write_bytes(b"totally foreign contents")
+        with caplog.at_level("WARNING", logger="repro.bench.cache"):
+            assert cache.get(self.KEY) is None
+        assert "bad or missing header" in caplog.text
+
+    def test_corruption_falls_back_to_recompute(self, tmp_path, caplog):
+        """End-to-end: corrupt a real run's entry mid-campaign and the
+        engine silently (but loudly-logged) recomputes the exact run."""
+        cache = ResultCache(tmp_path)
+        engine = RunEngine(jobs=1, cache=cache)
+        clean = compare_modes(TINY, repetitions=1, engine=engine)
+        # damage every stored entry
+        for path in tmp_path.rglob("*.pkl"):
+            data = path.read_bytes()
+            path.write_bytes(data[:-3] + b"\x00\x00\x00")
+        engine2 = RunEngine(jobs=1, cache=cache)
+        with caplog.at_level("WARNING", logger="repro.bench.cache"):
+            recomputed = compare_modes(TINY, repetitions=1, engine=engine2)
+        assert "corrupt" in caplog.text
+        assert engine2.last_stats.cache_hits == 0
+        assert engine2.last_stats.executed == 2
+        assert recomputed.runs == clean.runs
+        # the recompute rewrote valid entries: third pass is all hits
+        engine3 = RunEngine(jobs=1, cache=cache)
+        compare_modes(TINY, repetitions=1, engine=engine3)
+        assert engine3.last_stats.cache_hits == 2
+
+    def test_put_bytes_rejects_mismatched_claim(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        with pytest.raises(ValueError):
+            cache.put_bytes(self.KEY, b"data", digest="0" * 64)
+
+
 # ---------------------------------------------------------------- cache keys
 class TestCacheKeys:
     def test_stable_across_calls(self):
@@ -227,6 +297,47 @@ class TestEngineConfig:
         compare_modes(TINY, repetitions=1, engine=engine2)
         assert engine2.stats.cache_hits == 2
         assert engine2.stats.guest_instructions == 0
+
+    def test_per_worker_breakdown_sums_to_aggregate(self, tmp_path):
+        """Satellite: per-lane stats exist and sum exactly to the
+        aggregate, on both the serial and pool paths."""
+        engine = RunEngine(jobs=1, cache=ResultCache(tmp_path))
+        compare_modes(TINY, repetitions=1, engine=engine)
+        stats = engine.last_stats
+        assert list(stats.workers) == ["inline"]
+        assert stats.workers["inline"]["tasks"] == stats.executed == 2
+        # serial single-lane runs keep stderr unchanged: no worker lines
+        assert stats.render_workers() == []
+
+        pooled = RunEngine(jobs=4)
+        pooled.map(execute_spec, [
+            RunSpec(config=TINY, mode=mode)
+            for mode in ("unmodified", "rollback", "inheritance",
+                         "ceiling")
+        ])
+        pstats = pooled.last_stats
+        lanes = [n for n in pstats.workers if n.startswith("pool-")]
+        assert lanes and len(lanes) >= 2
+        assert pstats.executed == sum(
+            pstats.workers[n]["tasks"] for n in lanes
+        )
+        assert pstats.run_wall == pytest.approx(sum(
+            pstats.workers[n]["run_wall"] for n in lanes
+        ))
+        rendered = render_engine_stats(pstats)
+        assert any(f"worker {n}:" in rendered for n in lanes)
+
+    def test_cache_hit_lane_is_coordinator(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        e1 = RunEngine(jobs=1, cache=cache)
+        compare_modes(TINY, repetitions=1, engine=e1)
+        e2 = RunEngine(jobs=1, cache=cache)
+        compare_modes(TINY, repetitions=1, engine=e2)
+        stats = e2.last_stats
+        assert stats.workers["coordinator"]["cache_hits"] == 2
+        assert stats.cache_hits == sum(
+            rec["cache_hits"] for rec in stats.workers.values()
+        )
 
     def test_host_perf_report_schema(self, monkeypatch, tmp_path):
         """measure_host_perf on a microscopic sweep: schema/1 shape."""

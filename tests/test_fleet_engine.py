@@ -1,0 +1,311 @@
+"""Fleet engine integration tests.
+
+The contract under test: a fleet is just another execution strategy for
+the ``RunEngine.map`` seam — reports must be byte-identical to serial
+(cold and warm cache), the shared artifact store must verify digests
+both ways, and a worker killed mid-campaign must cost wall-clock only,
+never a cell.
+
+Thread-backed workers (``serve`` in a daemon thread) cover the protocol
+and stats behavior cheaply; subprocess workers cover the real
+``FleetEngine.local`` path including worker death by SIGKILL.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pickle
+import threading
+import time
+
+import pytest
+
+import fleet_tasks
+from repro.bench.figures import FigurePanel, run_panel
+from repro.bench.parallel import (
+    ResultCache,
+    RunEngine,
+    execute_spec,
+    payload_digest,
+    spec_key,
+)
+from repro.bench.report import panel_json, render_panel
+from repro.fleet.coordinator import Coordinator, FleetError
+from repro.fleet.engine import FleetEngine, _worker_pythonpath
+from repro.fleet.protocol import connect
+from repro.fleet.worker import serve
+
+PANEL_KW = dict(repetitions=2, write_ratios=(0, 100))
+
+TESTS_DIR = os.path.dirname(os.path.abspath(__file__))
+
+
+def thread_fleet(
+    n: int = 2, *, cache=None, worker_caches=None, **coord_kw
+) -> FleetEngine:
+    """Coordinator + ``n`` in-process worker threads as a FleetEngine."""
+    coordinator = Coordinator(cache=cache, **coord_kw)
+    host, port = coordinator.address
+    for i in range(n):
+        kwargs = {"name": f"t{i + 1}"}
+        if worker_caches is not None:
+            kwargs["cache"] = worker_caches[i]
+        threading.Thread(
+            target=serve, args=(host, port), kwargs=kwargs, daemon=True
+        ).start()
+    coordinator.wait_for_workers(n, timeout=10)
+    return FleetEngine(coordinator, jobs=n)
+
+
+def tiny_panel(engine, monkeypatch):
+    monkeypatch.setenv("REPRO_BENCH_SCALE", "0.2")
+    return run_panel(FigurePanel(5, "a"), engine=engine, **PANEL_KW)
+
+
+# ----------------------------------------------------------- thread fleet
+class TestThreadFleet:
+    def test_map_returns_input_order(self):
+        engine = thread_fleet(2)
+        try:
+            assert engine.map(fleet_tasks.double, list(range(24))) == [
+                i * 2 for i in range(24)
+            ]
+        finally:
+            engine.close()
+
+    def test_per_worker_stats_sum_to_aggregate(self):
+        engine = thread_fleet(3)
+        try:
+            engine.map(fleet_tasks.double, list(range(30)))
+            stats = engine.last_stats
+            assert stats.executed == 30
+            assert stats.executed == sum(
+                rec["tasks"] for rec in stats.workers.values()
+            )
+            assert stats.cache_hits == sum(
+                rec["cache_hits"] for rec in stats.workers.values()
+            )
+            # three workers pulling from one queue: all of them worked
+            assert len(stats.workers) == 3
+            assert all(
+                rec["bytes_sent"] and rec["bytes_received"]
+                for rec in stats.workers.values()
+            )
+        finally:
+            engine.close()
+
+    def test_bench_panel_byte_identical_and_store_shared(
+        self, tmp_path, monkeypatch
+    ):
+        serial = tiny_panel(RunEngine(jobs=1), monkeypatch)
+        cache = ResultCache(tmp_path / "store")
+        engine = thread_fleet(2, cache=cache)
+        try:
+            cold = tiny_panel(engine, monkeypatch)
+            assert render_panel(serial) == render_panel(cold)
+            assert panel_json(serial) == panel_json(cold)
+            assert engine.last_stats.cache_hits == 0
+            # warm: served by the coordinator from the shared store
+            warm = tiny_panel(engine, monkeypatch)
+            assert panel_json(serial) == panel_json(warm)
+            assert engine.last_stats.executed == 0
+            assert engine.last_stats.workers["coordinator"][
+                "cache_hits"
+            ] == engine.last_stats.cache_hits > 0
+        finally:
+            engine.close()
+        # the store the workers pushed into serves a *local* engine too
+        local = RunEngine(jobs=1, cache=ResultCache(tmp_path / "store"))
+        replay = tiny_panel(local, monkeypatch)
+        assert panel_json(serial) == panel_json(replay)
+        assert local.stats.executed == 0
+
+    def test_check_explore_equal_to_serial(self):
+        from repro.check.explorer import explore
+
+        serial = explore("mini-handoff", 1, engine=RunEngine(jobs=1))
+        engine = thread_fleet(2)
+        try:
+            fleet = explore("mini-handoff", 1, engine=engine)
+        finally:
+            engine.close()
+        assert fleet == serial
+
+    def test_server_cells_equal_to_serial(self):
+        from repro.server.plane import (
+            ServerSpec,
+            run_server_cell,
+            server_cell_key,
+        )
+
+        specs = [
+            ServerSpec(preset="chaos-smoke", seed_index=i) for i in (1, 2)
+        ]
+        serial = RunEngine(jobs=1).map(
+            run_server_cell, specs, key_fn=None
+        )
+        engine = thread_fleet(2)
+        try:
+            fleet = engine.map(run_server_cell, specs,
+                               key_fn=server_cell_key)
+        finally:
+            engine.close()
+        assert json.dumps(fleet, sort_keys=True) == json.dumps(
+            serial, sort_keys=True
+        )
+
+    def test_worker_local_cache_serves_hits(self, tmp_path):
+        worker_cache = ResultCache(tmp_path / "wcache")
+        engine = thread_fleet(1, worker_caches=[worker_cache])
+        try:
+            items = list(range(8))
+            first = engine.map(
+                fleet_tasks.double, items, key_fn=fleet_tasks.task_key
+            )
+            assert engine.last_stats.executed == 8
+            # coordinator has no cache, so the repeat round-trips to the
+            # worker — which serves every task from its local store
+            second = engine.map(
+                fleet_tasks.double, items, key_fn=fleet_tasks.task_key
+            )
+            assert second == first == [i * 2 for i in items]
+            stats = engine.last_stats
+            assert stats.executed == 0
+            assert stats.cache_hits == 8
+            assert stats.workers["t1"]["cache_hits"] == 8
+        finally:
+            engine.close()
+
+    def test_task_error_fails_after_bounded_retries(self):
+        engine = thread_fleet(
+            2, max_attempts=2, retry_backoff=0.01
+        )
+        try:
+            with pytest.raises(FleetError, match="negative"):
+                engine.map(fleet_tasks.fail_on_negative, [1, -1, 3])
+        finally:
+            engine.close()
+
+    def test_corrupt_result_payload_is_requeued(self):
+        """A worker that lies about its payload digest does not poison
+        the campaign: the result is discarded, counted, and the task
+        re-dispatched until an honest answer arrives."""
+        coordinator = Coordinator(retry_backoff=0.01)
+        host, port = coordinator.address
+        frame = connect(host, port)
+        frame.send({"type": "hello", "worker": "evil", "pid": 0})
+
+        outcome = {}
+
+        def campaign():
+            outcome["results"], outcome["stats"] = coordinator.map(
+                fleet_tasks.double, [21], timeout=30
+            )
+
+        runner = threading.Thread(target=campaign, daemon=True)
+        runner.start()
+        try:
+            frame.send({"type": "ready"})
+            task, _payload = frame.recv()
+            assert task["type"] == "task"
+            bogus = pickle.dumps(999)
+            frame.send(
+                {
+                    "type": "result",
+                    "task": task["task"],
+                    "key": task.get("key"),
+                    "digest": "0" * 64,  # does not match the payload
+                    "cached": False,
+                    "wall": 0.0,
+                },
+                bogus,
+            )
+            frame.send({"type": "ready"})
+            retry, payload = frame.recv()
+            assert retry["type"] == "task"
+            assert retry["task"] == task["task"]
+            honest = pickle.dumps(
+                fleet_tasks.double(pickle.loads(payload))
+            )
+            frame.send(
+                {
+                    "type": "result",
+                    "task": retry["task"],
+                    "key": retry.get("key"),
+                    "digest": payload_digest(honest),
+                    "cached": False,
+                    "wall": 0.0,
+                },
+                honest,
+            )
+            runner.join(15)
+            assert not runner.is_alive()
+            assert outcome["results"] == [42]
+            assert outcome["stats"].digest_failures == 1
+        finally:
+            frame.close()
+            coordinator.shutdown()
+
+
+# ------------------------------------------------------- subprocess fleet
+def _subprocess_env() -> dict[str, str]:
+    """Worker PYTHONPATH that can import both repro and fleet_tasks."""
+    return {
+        "PYTHONPATH": _worker_pythonpath() + os.pathsep + TESTS_DIR,
+    }
+
+
+class TestSubprocessFleet:
+    def test_local_fleet_matches_serial_panel(self, tmp_path, monkeypatch):
+        serial = tiny_panel(RunEngine(jobs=1), monkeypatch)
+        engine = FleetEngine.local(
+            2, cache=ResultCache(tmp_path / "store")
+        )
+        try:
+            cold = tiny_panel(engine, monkeypatch)
+            warm = tiny_panel(engine, monkeypatch)
+        finally:
+            engine.close()
+        assert render_panel(serial) == render_panel(cold)
+        assert panel_json(serial) == panel_json(cold)
+        assert panel_json(serial) == panel_json(warm)
+
+    def test_worker_killed_mid_campaign_loses_nothing(self):
+        """SIGKILL a worker while it holds leases: the coordinator
+        reassigns them and the campaign result is identical to serial —
+        no lost cells, no duplicates."""
+        engine = FleetEngine.local(
+            2, worker_env=_subprocess_env(), heartbeat_timeout=6.0
+        )
+        items = [(i, 0.6) for i in range(6)]
+        box: dict = {}
+
+        def campaign():
+            box["results"] = engine.map(fleet_tasks.slow_double, items)
+
+        runner = threading.Thread(target=campaign, daemon=True)
+        try:
+            runner.start()
+            # wait until worker w1 actually leases a task, then kill it
+            deadline = time.monotonic() + 20
+            while time.monotonic() < deadline:
+                if "w1" in engine.coordinator.leases().values():
+                    break
+                time.sleep(0.02)
+            else:
+                pytest.fail("w1 never leased a task")
+            engine.procs[0].kill()
+            runner.join(60)
+            assert not runner.is_alive()
+            assert box["results"] == [i * 2 for i in range(6)]
+            stats = engine.last_stats
+            assert stats.reassigned >= 1
+            assert stats.executed == len(items)
+            # every surviving result was executed by the live worker or
+            # re-executed after reassignment; the sums must still close
+            assert stats.executed == sum(
+                rec["tasks"] for rec in stats.workers.values()
+            )
+        finally:
+            engine.close()

@@ -1,0 +1,149 @@
+"""Bounded latency reservoir: exactness, boundedness, determinism.
+
+The load-bearing property: below capacity the reservoir's summary is
+bit-identical to sorting the full sample (the unbounded
+``latency_summary`` path), and above capacity the exact scalars
+(count/max/mean) never drift while memory stays pinned at the bin
+budget.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.server.report import latency_summary
+from repro.util.reservoir import DEFAULT_CAPACITY, LatencyReservoir
+from repro.util.rng import DeterministicRng
+from repro.util.stats import nearest_rank
+
+
+def _stream(n: int, spread: int, seed: int = 11) -> list[int]:
+    rng = DeterministicRng(seed)
+    return [rng.randint(40, 40 + spread - 1) for _ in range(n)]
+
+
+def _summarize_unbounded(samples: list[int]) -> dict:
+    return latency_summary(list(samples))
+
+
+class TestExactRegime:
+    @pytest.mark.parametrize("n,spread", [
+        (1, 5), (7, 3), (100, 1000), (5000, 2000), (4096, 10 ** 9),
+    ])
+    def test_parity_with_unbounded_summary(self, n, spread):
+        samples = _stream(n, spread)
+        res = LatencyReservoir()
+        res.extend(samples)
+        assert res.exact
+        assert res.summary() == _summarize_unbounded(samples)
+
+    def test_exact_above_capacity_when_values_repeat(self):
+        # 10^5 samples over 500 distinct values: the operating regime of
+        # a quantized-cycle soak — far more requests than bins, exact
+        samples = _stream(100_000, 500)
+        res = LatencyReservoir(capacity=512)
+        res.extend(samples)
+        assert res.exact
+        assert res.bins <= 512
+        assert res.summary() == _summarize_unbounded(samples)
+
+    def test_percentile_mirrors_nearest_rank(self):
+        samples = _stream(999, 750)
+        res = LatencyReservoir()
+        res.extend(samples)
+        s = sorted(samples)
+        for numer, denom in ((1, 100), (50, 100), (99, 100),
+                             (999, 1000), (1, 1)):
+            assert res.percentile(numer, denom) == nearest_rank(
+                s, numer, denom
+            )
+
+    def test_empty_sentinel_matches_unbounded(self):
+        assert LatencyReservoir().summary() == latency_summary([])
+
+
+class TestBoundedRegime:
+    def test_memory_stays_flat_and_scalars_exact(self):
+        samples = _stream(20_000, 10 ** 9, seed=3)
+        res = LatencyReservoir(capacity=64)
+        res.extend(samples)
+        assert res.bins <= 64
+        assert not res.exact
+        assert res.count == len(samples)
+        assert res.total == sum(samples)
+        summary = res.summary()
+        assert summary["count"] == len(samples)
+        assert summary["max"] == max(samples)
+        assert summary["mean"] == sum(samples) // len(samples)
+
+    def test_percentiles_are_observed_values(self):
+        samples = _stream(5_000, 10 ** 9, seed=5)
+        observed = set(samples)
+        res = LatencyReservoir(capacity=32)
+        res.extend(samples)
+        for numer, denom in ((50, 100), (99, 100), (999, 1000)):
+            assert res.percentile(numer, denom) in observed
+
+    def test_percentile_error_bounded_by_merges(self):
+        # merging collapses nearest neighbors, so p50 stays within the
+        # sample's range and ordered against p99/p999
+        samples = _stream(3_000, 10 ** 6, seed=9)
+        res = LatencyReservoir(capacity=128)
+        res.extend(samples)
+        s = res.summary()
+        assert min(samples) <= s["p50"] <= s["p99"] <= s["p999"] \
+            <= s["max"] == max(samples)
+
+
+class TestDeterminism:
+    def test_same_sequence_same_summary(self):
+        samples = _stream(10_000, 10 ** 7, seed=21)
+        a = LatencyReservoir(capacity=100)
+        b = LatencyReservoir(capacity=100)
+        a.extend(samples)
+        b.extend(samples)
+        assert a.summary() == b.summary()
+        assert a.expand() == b.expand()
+
+    def test_integer_only(self):
+        res = LatencyReservoir()
+        res.extend(_stream(1000, 100))
+        summary = res.summary()
+        assert all(
+            isinstance(v, int) for v in summary.values()
+        )
+
+
+class TestValidation:
+    def test_capacity_floor(self):
+        with pytest.raises(ValueError):
+            LatencyReservoir(capacity=1)
+
+    def test_percentile_range(self):
+        res = LatencyReservoir()
+        res.add(5)
+        with pytest.raises(ValueError):
+            res.percentile(0, 100)
+        with pytest.raises(ValueError):
+            res.percentile(101, 100)
+
+    def test_empty_percentile_raises(self):
+        with pytest.raises(ValueError):
+            LatencyReservoir().percentile(50, 100)
+
+
+class TestServerReportIntegration:
+    def test_report_latency_matches_unbounded_path_on_real_run(self):
+        """Pin the satellite: a real (small) server run reports exactly
+        what the unbounded sort-everything path would."""
+        from test_server_workload import _run, _small
+
+        from repro.server.report import _tier_latencies, _tier_reservoir
+
+        config = _small()
+        vm, _ = _run(config)
+        for ti in range(len(config.tiers)):
+            samples = _tier_latencies(vm, ti)
+            reservoir = _tier_reservoir(vm, ti)
+            assert reservoir.summary() == latency_summary(samples)
+            assert reservoir.exact
