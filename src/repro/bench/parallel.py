@@ -289,6 +289,31 @@ def guest_instructions(result: Any) -> int:
     )
 
 
+def trace_health(result: Any) -> tuple[int, int]:
+    """``(dropped, sink_errors)`` of one run's tracer.
+
+    Read from ``metrics["trace"]`` on capture artifacts and RunResults,
+    falling back to a top-level ``trace`` block (server reports); (0, 0)
+    for results that carry neither.  Nonzero values mean the run's
+    observability was degraded — spans are missing from its artifacts —
+    so the engine surfaces them loudly instead of folding them into a
+    clean-looking report.
+    """
+    metrics = (
+        result.get("metrics") if isinstance(result, dict)
+        else getattr(result, "metrics", None)
+    )
+    block = metrics.get("trace") if isinstance(metrics, dict) else None
+    if block is None and isinstance(result, dict):
+        block = result.get("trace")
+    if not isinstance(block, dict):
+        return (0, 0)
+    return (
+        int(block.get("dropped", 0)),
+        int(block.get("sink_errors", 0)),
+    )
+
+
 @dataclass
 class EngineStats:
     """Host-side observability for one engine (or one :meth:`map` call).
@@ -317,6 +342,11 @@ class EngineStats:
     reassigned: int = 0
     #: result frames whose payload failed its integrity digest on receipt
     digest_failures: int = 0
+    #: trace events dropped at the tracer ring, executed runs only —
+    #: nonzero means artifacts are missing spans (degraded observability)
+    trace_dropped: int = 0
+    #: tracer sinks detached after raising, executed runs only
+    trace_sink_errors: int = 0
     #: per-worker breakdown — worker name -> counters.  Cache hits served
     #: before dispatch are credited to the pseudo-worker "coordinator";
     #: the aggregate fields above are always the exact sums of these.
@@ -332,6 +362,8 @@ class EngineStats:
             "run_wall": 0.0,
             "bytes_sent": 0,
             "bytes_received": 0,
+            "trace_dropped": 0,
+            "trace_sink_errors": 0,
         })
 
     def credit(
@@ -343,6 +375,8 @@ class EngineStats:
         run_wall: float = 0.0,
         bytes_sent: int = 0,
         bytes_received: int = 0,
+        trace_dropped: int = 0,
+        trace_sink_errors: int = 0,
     ) -> None:
         """Add counters to one worker's record (creating it on demand)."""
         rec = self.worker(name)
@@ -351,6 +385,8 @@ class EngineStats:
         rec["run_wall"] += run_wall
         rec["bytes_sent"] += bytes_sent
         rec["bytes_received"] += bytes_received
+        rec["trace_dropped"] += trace_dropped
+        rec["trace_sink_errors"] += trace_sink_errors
 
     def merge(self, other: "EngineStats") -> None:
         self.runs += other.runs
@@ -363,6 +399,8 @@ class EngineStats:
         self.run_instructions.extend(other.run_instructions)
         self.reassigned += other.reassigned
         self.digest_failures += other.digest_failures
+        self.trace_dropped += other.trace_dropped
+        self.trace_sink_errors += other.trace_sink_errors
         for name, rec in other.workers.items():
             self.credit(name, **rec)
 
@@ -386,6 +424,11 @@ class EngineStats:
                 f"; {self.guest_instructions} guest instructions "
                 f"({self.ips():,.0f}/s)"
             )
+        if self.trace_dropped or self.trace_sink_errors:
+            line += (
+                f"; TRACE DEGRADED: {self.trace_dropped} event(s) "
+                f"dropped, {self.trace_sink_errors} sink(s) detached"
+            )
         return line
 
     def render_workers(self) -> list[str]:
@@ -399,7 +442,8 @@ class EngineStats:
             rec["bytes_sent"] or rec["bytes_received"]
             for rec in self.workers.values()
         )
-        if len(lanes) <= 1 and not moved:
+        degraded = self.trace_dropped or self.trace_sink_errors
+        if len(lanes) <= 1 and not moved and not degraded:
             return []
         lines = []
         for name in sorted(self.workers):
@@ -413,6 +457,11 @@ class EngineStats:
                 line += (
                     f", {rec['bytes_sent']}B out / "
                     f"{rec['bytes_received']}B in"
+                )
+            if rec["trace_dropped"] or rec["trace_sink_errors"]:
+                line += (
+                    f", TRACE DEGRADED: {rec['trace_dropped']} "
+                    f"dropped / {rec['trace_sink_errors']} sink errors"
                 )
             lines.append(line)
         if self.reassigned:
@@ -525,7 +574,14 @@ class RunEngine:
                 results[i], wall, lane = _timed_call(fn, items[i])
                 stats.run_walls[i] = wall
                 stats.run_wall += wall
-                stats.credit("inline", tasks=1, run_wall=wall)
+                dropped, sink_errors = trace_health(results[i])
+                stats.trace_dropped += dropped
+                stats.trace_sink_errors += sink_errors
+                stats.credit(
+                    "inline", tasks=1, run_wall=wall,
+                    trace_dropped=dropped,
+                    trace_sink_errors=sink_errors,
+                )
         else:
             workers = min(self.jobs, len(pending))
             with ProcessPoolExecutor(max_workers=workers) as pool:
@@ -543,7 +599,14 @@ class RunEngine:
                         results[i], wall, lane = fut.result()
                         stats.run_walls[i] = wall
                         stats.run_wall += wall
-                        stats.credit(lane, tasks=1, run_wall=wall)
+                        dropped, sink_errors = trace_health(results[i])
+                        stats.trace_dropped += dropped
+                        stats.trace_sink_errors += sink_errors
+                        stats.credit(
+                            lane, tasks=1, run_wall=wall,
+                            trace_dropped=dropped,
+                            trace_sink_errors=sink_errors,
+                        )
 
         for i in pending:
             gi = guest_instructions(results[i])

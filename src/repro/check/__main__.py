@@ -94,6 +94,21 @@ def _parser() -> argparse.ArgumentParser:
              "counterexample's reference mode)",
     )
     parser.add_argument(
+        "--debug", action="store_true",
+        help="with --replay: open the counterexample in the time-travel "
+             "debugger (repro.obs.debug) after replaying",
+    )
+    parser.add_argument(
+        "--debug-seek", type=int, default=None, metavar="CYCLE",
+        help="with --replay --debug: position at virtual cycle CYCLE "
+             "instead of the start",
+    )
+    parser.add_argument(
+        "--debug-state", action="store_true",
+        help="with --replay --debug: print the inspector state and exit "
+             "(headless; no REPL)",
+    )
+    parser.add_argument(
         "--lockset", default=None, metavar="TARGET",
         help="run the Eraser-style lockset pass over TARGET (a scenario "
              "name, or 'fig5' for the micro-benchmark) instead of "
@@ -134,6 +149,9 @@ def _cmd_replay(
     path: str,
     trace_out: str | None = None,
     trace_mode: str | None = None,
+    debug: bool = False,
+    debug_seek: int | None = None,
+    debug_state: bool = False,
 ) -> int:
     with open(path, "r", encoding="utf-8") as fh:
         payload = json.load(fh)
@@ -157,6 +175,21 @@ def _cmd_replay(
             f"{trace_out} (open at https://ui.perfetto.dev)",
             file=sys.stderr,
         )
+    if debug:
+        from repro.obs.debug import (
+            DebugSession,
+            record_replay,
+            render_state,
+            repl,
+        )
+
+        session = DebugSession(record_replay(payload, mode=trace_mode))
+        if debug_seek is not None:
+            session.seek(debug_seek)
+        if debug_state:
+            print(render_state(session.state()))
+        else:
+            repl(session)
     if verdict["reproduced"]:
         print("divergence reproduced")
         return 0
@@ -193,7 +226,11 @@ def main(argv: list[str] | None = None) -> int:
 
         return run_fleet_worker(args)
     if args.replay is not None:
-        return _cmd_replay(args.replay, args.trace_out, args.trace_mode)
+        return _cmd_replay(
+            args.replay, args.trace_out, args.trace_mode,
+            debug=args.debug, debug_seek=args.debug_seek,
+            debug_state=args.debug_state,
+        )
     if args.lockset is not None:
         return _cmd_lockset(args.lockset)
 

@@ -531,6 +531,22 @@ class RollbackSupport(RuntimeSupport):
         # A blocked or sleeping holder never reaches a yield point on its
         # own; wake it so the rollback can proceed.
         vm.scheduler.wake_for_revocation(holder)
+        # Preemption-based means *prompt*: under strict priority
+        # scheduling the victim still needs CPU to reach the yield point
+        # where the rollback runs, and medium-priority threads would
+        # starve it of exactly that — reintroducing the inversion the
+        # revocation exists to end.  Donate the requester's priority to
+        # the holder for the duration of the undo; on_handoff sheds it
+        # when the rolled-back monitor is released.  Round-robin (and
+        # hook-driven checker) schedules need no boost — every ready
+        # thread runs within one rotation — so the donation is gated to
+        # keep revocation requests independent transitions under DPOR.
+        if (
+            vm.scheduler.name == "priority"
+            and requester is not None
+            and donate_priority(vm, self.metrics, requester, target.monitor)
+        ):
+            self._donations += 1
         return True
 
     def _degrade(
@@ -639,6 +655,24 @@ class RollbackSupport(RuntimeSupport):
             cycle=[t.name for t in cycle],
         )
         self.vm.scheduler.wake_for_revocation(victim)
+        # Same promptness argument as request_revocation (and the same
+        # priority-scheduler gate): the victim must actually run to undo
+        # its section, and third-party runnable threads must not starve
+        # it.  Donate from the highest-priority member of the cycle.
+        if self.vm.scheduler.name == "priority":
+            donor = None
+            for t in cycle:
+                if t is victim:
+                    continue
+                if donor is None or (
+                    t.effective_priority,
+                    -t.tid,
+                ) > (donor.effective_priority, -donor.tid):
+                    donor = t
+            if donor is not None and donate_priority(
+                self.vm, self.metrics, donor, target.monitor
+            ):
+                self._donations += 1
         return True
 
     # -------------------------------------------------------------- checking

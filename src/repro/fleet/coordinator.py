@@ -46,6 +46,7 @@ from repro.bench.parallel import (
     ResultCache,
     guest_instructions,
     payload_digest,
+    trace_health,
 )
 from repro.fleet.protocol import FrameSocket, fn_reference
 
@@ -361,7 +362,22 @@ class Coordinator:
                 batch.executed[task] = True
                 stats.run_walls[task] = wall
                 stats.run_wall += wall
-                stats.credit(worker.name, tasks=1, run_wall=wall)
+                dropped, sink_errors = trace_health(batch.results[task])
+                stats.trace_dropped += dropped
+                stats.trace_sink_errors += sink_errors
+                stats.credit(
+                    worker.name, tasks=1, run_wall=wall,
+                    trace_dropped=dropped,
+                    trace_sink_errors=sink_errors,
+                )
+                if dropped or sink_errors:
+                    # observability degraded on a remote run: say so on
+                    # the coordinator's stderr, not just in the lanes
+                    _log.warning(
+                        "worker %s: task %d ran with degraded tracing "
+                        "(%d event(s) dropped, %d sink(s) detached)",
+                        worker.name, task, dropped, sink_errors,
+                    )
             if self.cache is not None and batch.keys[task] is not None:
                 self.cache.put_bytes(
                     batch.keys[task], payload, msg.get("digest")

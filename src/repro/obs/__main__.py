@@ -5,19 +5,28 @@ Examples::
     python -m repro.obs --list                         # scenario names
     python -m repro.obs spans   --scenario handoff
     python -m repro.obs profile --scenario fig6b --top 15
+    python -m repro.obs profile --scenario server-storm --sites
     python -m repro.obs export  --scenario fig5a --fmt chrome -o t.json
     python -m repro.obs export  --scenario fig6b --fmt folded -o t.folded
     python -m repro.obs summary --scenario medium-inversion
+    python -m repro.obs episodes --scenario medium-inversion --compare
+    python -m repro.obs debug --scenario server-storm --episode 1 \
+        --print-state
 
 Every subcommand runs its scenario through the same capture pipeline
 (:mod:`repro.obs.capture`), fanned through the bench
 :class:`~repro.bench.parallel.RunEngine` — captures are cached on disk
 by content address, so re-rendering a different view of the same run is
-a cache hit, not a re-execution.  Stdout is a pure function of the
+a cache hit, not a re-execution.  ``--fleet local:N`` / ``coordinator``
+/ ``worker`` route the same work over the distributed run fleet; every
+artifact (episodes reports, checkpoint streams) is byte-identical
+whichever engine produced it.  Stdout is a pure function of the
 arguments; engine statistics go to stderr.
 
 Exported Chrome traces open directly in https://ui.perfetto.dev or
-chrome://tracing; virtual cycles appear as microseconds.
+chrome://tracing; virtual cycles appear as microseconds — and
+priority-inversion episodes appear as an async ``inversion`` overlay
+above the thread tracks.
 """
 
 from __future__ import annotations
@@ -38,7 +47,8 @@ def _parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "command", nargs="?", default=None,
-        choices=["spans", "profile", "export", "summary"],
+        choices=["spans", "profile", "export", "summary", "episodes",
+                 "debug"],
         help="what to render from the captured run",
     )
     parser.add_argument(
@@ -95,18 +105,51 @@ def _parser() -> argparse.ArgumentParser:
         "--list", action="store_true",
         help="list scenario names and exit",
     )
+    parser.add_argument(
+        "--sites", action="store_true",
+        help="per-site abort/commit statistics table "
+             "(profile subcommand)",
+    )
+    parser.add_argument(
+        "--compare", action="store_true",
+        help="episodes subcommand: run all three policies and print the "
+             "per-policy inversion table",
+    )
+    parser.add_argument(
+        "--seek", type=int, default=None, metavar="CYCLE",
+        help="debug subcommand: position at virtual cycle CYCLE",
+    )
+    parser.add_argument(
+        "--episode", type=int, default=None, metavar="N",
+        help="debug subcommand: position at the start of "
+             "priority-inversion episode N (1-based)",
+    )
+    parser.add_argument(
+        "--print-state", action="store_true",
+        help="debug subcommand: print the inspector state and exit "
+             "(headless; no REPL)",
+    )
+    parser.add_argument(
+        "--interval", type=int, default=None, metavar="SLICES",
+        help="debug subcommand: scheduler slices between checkpoints",
+    )
+    from repro.fleet.cli import add_fleet_args
+
+    add_fleet_args(parser)
     return parser
 
 
 def _engine(args):
     from repro.bench.parallel import RunEngine
+    from repro.fleet.cli import resolve_fleet_engine
 
     engine = RunEngine.from_env()
     if args.jobs is not None:
         engine = RunEngine(jobs=max(1, args.jobs), cache=engine.cache)
     if args.no_cache:
         engine = RunEngine(jobs=engine.jobs, cache=None)
-    return engine
+    fleet = resolve_fleet_engine(args, engine.cache)
+    return fleet if fleet is not None else engine
 
 
 def _cmd_list() -> int:
@@ -168,6 +211,8 @@ def _cmd_spans(args, artifact: dict) -> int:
 
 
 def _cmd_profile(args, artifact: dict) -> int:
+    if args.sites:
+        return _cmd_profile_sites(args, artifact)
     profile = artifact["profile"]
     if profile is None:
         print("profile disabled (--no-profile); nothing to show",
@@ -180,6 +225,119 @@ def _cmd_profile(args, artifact: dict) -> int:
 
     print(render_profile_dict(profile, artifact["clock"], top=args.top))
     return 0
+
+
+def _cmd_profile_sites(args, artifact: dict) -> int:
+    from repro.obs.episodes import _spans_from_jsonl
+    from repro.obs.export import render_sites, site_table
+
+    rows = site_table(_spans_from_jsonl(artifact["spans_jsonl"]))
+    if args.json:
+        print(json.dumps(rows, indent=2))
+        return 0
+    print(render_sites(rows))
+    return 0
+
+
+def _episode_specs(args) -> list:
+    from repro.obs.capture import ObsSpec
+
+    modes = (
+        ["unmodified", "rollback", "inheritance"]
+        if args.compare else [args.mode]
+    )
+    return [
+        ObsSpec(
+            scenario=args.scenario,
+            mode=mode,
+            seed=args.seed,
+            interp=args.interp,
+            profile=not args.no_profile,
+            write_pct=args.write_pct,
+        )
+        for mode in modes
+    ]
+
+
+def _cmd_episodes(args) -> int:
+    from repro.obs.capture import execute_obs_spec, obs_spec_key
+    from repro.obs.episodes import (
+        build_report,
+        policy_table,
+        render_report,
+        report_bytes,
+    )
+
+    engine = _engine(args)
+    specs = _episode_specs(args)
+    artifacts = engine.map(execute_obs_spec, specs, key_fn=obs_spec_key)
+    print(engine.stats.render(), file=sys.stderr)
+    reports = {}
+    for spec, artifact in zip(specs, artifacts):
+        _warn_truncation(artifact)
+        reports[spec.mode] = build_report(artifact)
+    if args.compare:
+        if args.json:
+            doc = {mode: reports[mode] for mode in sorted(reports)}
+            sys.stdout.write(json.dumps(doc, sort_keys=True) + "\n")
+            return 0
+        print(policy_table(reports))
+        return 0
+    report = reports[args.mode]
+    if args.json:
+        sys.stdout.buffer.write(report_bytes(report))
+        return 0
+    print(render_report(report, top=args.top))
+    return 0
+
+
+def _cmd_debug(args) -> int:
+    from repro.obs.capture import ObsSpec
+    from repro.obs.debug import (
+        DEFAULT_INTERVAL,
+        DebugSession,
+        record_with_engine,
+        render_state,
+    )
+
+    spec = ObsSpec(
+        scenario=args.scenario,
+        mode=args.mode,
+        seed=args.seed,
+        interp=args.interp,
+        profile=not args.no_profile,
+        write_pct=args.write_pct,
+    )
+    engine = _engine(args)
+    recording = record_with_engine(
+        spec, interval=args.interval or DEFAULT_INTERVAL, engine=engine
+    )
+    print(engine.stats.render(), file=sys.stderr)
+    session = DebugSession(recording)
+    if args.episode is not None:
+        episode = session.seek_episode(args.episode)
+        print(
+            f"episode {episode['index']}: {episode['thread']} "
+            f"(prio {episode['priority']}) blocked on {episode['mon']} "
+            f"held by {episode['holder']} "
+            f"(prio {episode['holder_priority']}), "
+            f"[{episode['start']}, {episode['end']}] "
+            f"{episode['cycles']} cycles, "
+            f"resolution {episode['resolution']}",
+            file=sys.stderr,
+        )
+    elif args.seek is not None:
+        session.seek(args.seek)
+    if args.print_state:
+        state = session.state()
+        if args.json:
+            print(json.dumps(state, sort_keys=True))
+        else:
+            print(render_state(state))
+        return 0
+    from repro.obs.debug import repl
+
+    return repl(session)
 
 
 def _cmd_export(args, artifact: dict) -> int:
@@ -241,13 +399,21 @@ def _cmd_summary(args, artifact: dict) -> int:
 
 def main(argv: list[str] | None = None) -> int:
     args = _parser().parse_args(argv)
+    if args.fleet == "worker":
+        from repro.fleet.cli import run_fleet_worker
+
+        return run_fleet_worker(args)
     if args.list:
         return _cmd_list()
     if args.command is None:
-        _parser().error("a subcommand (spans/profile/export/summary) "
-                        "or --list is required")
+        _parser().error("a subcommand (spans/profile/export/summary/"
+                        "episodes/debug) or --list is required")
     if args.scenario is None:
         _parser().error("--scenario is required")
+    if args.command == "episodes":
+        return _cmd_episodes(args)
+    if args.command == "debug":
+        return _cmd_debug(args)
     artifact = _capture(args)
     return {
         "spans": _cmd_spans,

@@ -132,8 +132,11 @@ def _package(
     sampler: _CounterSampler,
     outcome: str,
 ) -> dict[str, Any]:
+    from repro.obs.episodes import detect_episodes
+
     spans = builder.finish(vm.clock.now)
     metrics = vm.metrics()
+    episodes = detect_episodes(spans)
     # the serialized header deliberately omits `interp`: artifacts are a
     # pure function of (scenario, mode, seed), byte-identical whichever
     # interpreter produced them — the parity tests pin this
@@ -156,6 +159,7 @@ def _package(
         profiler=profiler,
         counters=counters,
         meta=dict(header),
+        episodes=episodes,
     )
     spans_by_kind: dict[str, int] = {}
     for span in spans:
@@ -173,6 +177,8 @@ def _package(
         "spans_by_kind": dict(sorted(spans_by_kind.items())),
         "trace": metrics["trace"],
         "counter_samples_dropped": sampler.dropped,
+        "episodes": len(episodes),
+        "inversion_cycles": sum(e["cycles"] for e in episodes),
         "revocations": metrics.get("support", {}).get(
             "revocations_completed", 0
         ),
@@ -194,18 +200,13 @@ def _package(
     }
 
 
-def capture_replay(
+def build_replay_vm(
     payload: dict[str, Any], mode: Optional[str] = None
-) -> dict[str, Any]:
-    """Replay a ``repro.check`` counterexample into a full artifact
-    bundle (trace + spans + profile).
-
-    Mirrors :func:`repro.check.explorer.run_schedule` — one-cycle
-    quantum, fixed check seed, the minimized choice prefix driving the
-    scheduler's decision hook — but with tracing and profiling on, so a
-    divergence found by the checker opens in Perfetto.  ``mode``
-    defaults to the counterexample's reference policy.
-    """
+) -> tuple[ObsSpec, JVM, SpanBuilder, _CounterSampler]:
+    """The traced/profiled VM for a ``repro.check`` counterexample
+    replay, decision hook armed with the minimized choice prefix.
+    Shared by :func:`capture_replay` and the time-travel debugger's
+    :func:`repro.obs.debug.record_replay`."""
     from repro.check.explorer import (
         CHECK_CYCLE_CAP,
         CHECK_VM_SEED,
@@ -236,6 +237,27 @@ def capture_replay(
     vm.scheduler.decision_hook = ScheduleController(
         tuple(payload["minimized_schedule"])
     )
+    spec = ObsSpec(
+        scenario=f"replay:{payload['scenario']}",
+        mode=mode,
+        seed=CHECK_VM_SEED,
+    )
+    return spec, vm, builder, sampler
+
+
+def capture_replay(
+    payload: dict[str, Any], mode: Optional[str] = None
+) -> dict[str, Any]:
+    """Replay a ``repro.check`` counterexample into a full artifact
+    bundle (trace + spans + profile).
+
+    Mirrors :func:`repro.check.explorer.run_schedule` — one-cycle
+    quantum, fixed check seed, the minimized choice prefix driving the
+    scheduler's decision hook — but with tracing and profiling on, so a
+    divergence found by the checker opens in Perfetto.  ``mode``
+    defaults to the counterexample's reference policy.
+    """
+    spec, vm, builder, sampler = build_replay_vm(payload, mode)
     outcome = "completed"
     try:
         vm.run()
@@ -245,11 +267,6 @@ def capture_replay(
         outcome = "starvation"
     except UncaughtGuestException as exc:
         outcome = f"uncaught:{exc.exc_class}"
-    spec = ObsSpec(
-        scenario=f"replay:{payload['scenario']}",
-        mode=mode,
-        seed=CHECK_VM_SEED,
-    )
     return _package(spec, vm, builder, sampler, outcome)
 
 

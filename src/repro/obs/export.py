@@ -64,6 +64,7 @@ def chrome_trace_bytes(
     profiler: Optional["CycleProfiler"] = None,
     counters: Optional[dict[str, list[tuple[int, int]]]] = None,
     meta: Optional[dict] = None,
+    episodes: Optional[list[dict]] = None,
 ) -> bytes:
     """Serialize a run as Chrome trace-event JSON.
 
@@ -71,6 +72,10 @@ def chrome_trace_bytes(
     pseudo-track is always tid 0.  ``counters`` maps a counter-track name
     to ``(time, value)`` samples.  One virtual cycle = one microsecond of
     trace time, so Perfetto's duration readouts are cycle counts.
+    ``episodes`` (records from :mod:`repro.obs.episodes`) render as an
+    async-track overlay: each priority-inversion episode is a ``b``/``e``
+    pair spanning blocker and holder, so inversions read as one lane
+    above the per-thread tracks.
     """
     pid = 1
     tids: dict[str, int] = {"(vm)": 0}
@@ -126,6 +131,30 @@ def chrome_trace_bytes(
                     "s": "t", "name": span.kind, "cat": span.kind,
                     "args": args,
                 }
+            )
+
+    if episodes:
+        for ep in episodes:
+            name = f"inversion {ep['mon']}"
+            args = {
+                "index": ep["index"],
+                "blocked": ep["thread"],
+                "holder": ep["holder"],
+                "priority": ep["priority"],
+                "holder_priority": ep["holder_priority"],
+                "resolution": ep["resolution"],
+                "cycles": ep["cycles"],
+                "tier": ep["tier"],
+            }
+            common = {
+                "pid": pid, "cat": "inversion", "name": name,
+                "id": ep["index"],
+            }
+            events.append(
+                {"ph": "b", "ts": ep["start"], "args": args, **common}
+            )
+            events.append(
+                {"ph": "e", "ts": ep["end"], "args": {}, **common}
             )
 
     if counters:
@@ -228,6 +257,74 @@ def render_profile(profiler: "CycleProfiler", top: int = 20) -> str:
         f"  {'total':<14} {profiler.total_cycles():>12}  "
         "(== final virtual clock)"
     )
+    return "\n".join(lines)
+
+
+def site_table(spans: Iterable["Span"]) -> list[dict]:
+    """Per-site abort/commit statistics, derived purely from the span
+    stream (so the table is cacheable and fleet-shippable with the
+    artifact).  A *site* is a synchronization target — the monitor a
+    section guards; rows aggregate every dynamic execution against it:
+    commits, rollbacks (aborts), abandons/leaks, cycles spent holding,
+    cycles other threads spent blocked on it, and the contender set
+    size.  Sorted by blocked cycles (the pain), then held cycles."""
+    stats: dict[str, dict] = {}
+
+    def row(mon) -> dict:
+        key = str(mon)
+        if key not in stats:
+            stats[key] = {
+                "site": key, "sections": 0, "commit": 0, "rollback": 0,
+                "abandoned": 0, "leaked": 0, "held_cycles": 0,
+                "blocked_cycles": 0, "contenders": set(),
+            }
+        return stats[key]
+
+    for s in spans:
+        if s.kind == "section":
+            r = row(s.attrs.get("mon"))
+            r["sections"] += 1
+            outcome = s.attrs.get("outcome")
+            if outcome in ("commit", "rollback", "abandoned", "leaked"):
+                r[outcome] += 1
+            if s.end is not None:
+                r["held_cycles"] += s.end - s.start
+        elif s.kind == "blocked":
+            r = row(s.attrs.get("mon"))
+            if s.end is not None:
+                r["blocked_cycles"] += s.end - s.start
+            r["contenders"].add(s.thread)
+    out = []
+    for r in stats.values():
+        r["contenders"] = len(r["contenders"])
+        attempts = r["commit"] + r["rollback"]
+        r["abort_pct"] = (
+            round(100.0 * r["rollback"] / attempts, 1) if attempts else 0.0
+        )
+        out.append(r)
+    out.sort(
+        key=lambda r: (-r["blocked_cycles"], -r["held_cycles"], r["site"])
+    )
+    return out
+
+
+def render_sites(rows: list[dict]) -> str:
+    """Text table for :func:`site_table`."""
+    header = (
+        f"{'site':<26} {'sections':>8} {'commit':>7} {'abort':>6} "
+        f"{'abort%':>7} {'abandon':>8} {'leak':>5} {'held-cycles':>12} "
+        f"{'blocked-cycles':>15} {'contenders':>11}"
+    )
+    lines = [header, "-" * len(header)]
+    for r in rows:
+        lines.append(
+            f"{r['site']:<26} {r['sections']:>8} {r['commit']:>7} "
+            f"{r['rollback']:>6} {r['abort_pct']:>7} {r['abandoned']:>8} "
+            f"{r['leaked']:>5} {r['held_cycles']:>12} "
+            f"{r['blocked_cycles']:>15} {r['contenders']:>11}"
+        )
+    if not rows:
+        lines.append("(no synchronized sections in this run)")
     return "\n".join(lines)
 
 

@@ -70,6 +70,11 @@ class CycleProfiler:
         self.stacks: dict[tuple[str, str], int] = {}
         #: (track, qualified method name, mechanism) -> cycles
         self.mech: dict[tuple[str, str, str], int] = {}
+        #: track -> cycles spent parked on monitor entry queues.  NOT a
+        #: clock partition (blocked time overlaps other threads' running
+        #: time); credited by :meth:`JVM.credit_blocked` at the exact
+        #: moment ``VMThread.blocked_cycles`` is, so the two always agree.
+        self.blocked: dict[str, int] = {}
         self._track = VM_TRACK
         self._cat = CAT_VM
 
@@ -139,6 +144,12 @@ class CycleProfiler:
         key = (track, method, mechanism)
         self.mech[key] = self.mech.get(key, 0) + cycles
 
+    def note_blocked(self, track: str, cycles: int) -> None:
+        """One closed blocked interval on ``track`` (entry-queue park →
+        grant/wake).  Fed exclusively through ``JVM.credit_blocked``."""
+        if cycles:
+            self.blocked[track] = self.blocked.get(track, 0) + cycles
+
     # ------------------------------------------------------------- queries
     def total_cycles(self) -> int:
         return sum(
@@ -169,6 +180,7 @@ class CycleProfiler:
                 for track, cats in sorted(self.tracks.items())
             },
             "total": self.total_cycles(),
+            "blocked": dict(sorted(self.blocked.items())),
             "methods": self.method_table(),
         }
 
@@ -220,6 +232,11 @@ class ProfilingSupport:
         self.profiler = profiler
 
     def __getattr__(self, name):
+        if name == "inner":
+            # copy/pickle reconstruct probes attributes on an empty
+            # instance before __dict__ is restored; without this guard
+            # the delegation recurses forever.
+            raise AttributeError(name)
         return getattr(self.inner, name)
 
     # ------------------------------------------------------------- barriers

@@ -86,6 +86,15 @@ def _server_scenarios() -> dict[str, ObsScenario]:
             options={"scheduler": "priority", "raise_on_uncaught": False},
             install=_server_installer("chaos-smoke"),
         ),
+        "server-fleet": ObsScenario(
+            name="server-fleet",
+            description=(
+                "server plane: the 12-tier, 1020-guest-thread fleet "
+                "preset — the downsampling stress shape"
+            ),
+            options={"scheduler": "priority", "raise_on_uncaught": False},
+            install=_server_installer("fleet"),
+        ),
         "server-storm": ObsScenario(
             name="server-storm",
             description=(
@@ -123,6 +132,7 @@ def _workload_builders() -> dict[str, tuple[str, Callable]]:
         "deadlock-pair": (
             "two threads acquiring two locks in opposite orders",
             lambda: build_deadlock_pair(hold_cycles=800, work=20),
+            {},
         ),
         "medium-inversion": (
             "the paper's three-priority inversion shape",
@@ -130,22 +140,29 @@ def _workload_builders() -> dict[str, tuple[str, Callable]]:
                 medium_threads=2, low_section_iters=300,
                 medium_work_iters=500, high_section_iters=60,
             ),
+            # The §1 inversion only manifests under strict priority
+            # scheduling: the woken mediums must starve the low-priority
+            # lock holder while the high-priority thread sits blocked.
+            {"scheduler": "priority"},
         ),
         "bank": (
             "random transfers between locked accounts",
             lambda: build_bank(accounts=4, transfers=10, hold_cycles=120),
+            {},
         ),
         "bounded-buffer": (
             "producers/consumers on a wait/notify bounded buffer",
             lambda: build_bounded_buffer(
                 capacity=2, items_per_producer=6, producers=2, consumers=2
             ),
+            {},
         ),
         "philosophers": (
             "dining philosophers over shared fork monitors",
             lambda: build_philosophers(
                 3, rounds=3, think_cycles=300, eat_iters=15
             ),
+            {},
         ),
     }
 
@@ -174,11 +191,11 @@ def scenarios() -> dict[str, ObsScenario]:
             options=dict(scenario.options),
             install=_check_installer(name),
         )
-    for name, (description, build) in _workload_builders().items():
+    for name, (description, build, options) in _workload_builders().items():
         out[name] = ObsScenario(
             name=name,
             description=f"workload: {description}",
-            options={},
+            options=dict(options),
             install=_workload_installer(build),
         )
     out.update(_server_scenarios())

@@ -12,12 +12,15 @@ kind               interval
 ``section``        monitorenter → monitorexit / rollback-release;
                    ``outcome`` is ``commit``, ``rollback``, ``abandoned``
                    or ``leaked``
-``blocked``        entry-queue park → acquisition (or wakeup/exit)
+``blocked``        entry-queue park → grant/wakeup (closed at the exact
+                   clock value the thread's ``blocked_cycles`` metric is
+                   credited, so span durations reconcile with metrics)
 ``wait``           Object.wait → return / timeout / notify / exit
 ``revocation``     revocation request → rollback completion; carries the
                    requester, the origin (acquire/periodic/deadlock) and
                    the undo-entry count restored
 ``revocation_denied``  instant: a posted request was refused (reason)
+``inherit``        instant: a priority donation landed on a monitor owner
 ``degrade``        instant: a section site dropped a ladder rung
 ``grace`` / ``backoff``  instant: a revocation-free window was granted
 ``fault``          instant: an injected fault was delivered
@@ -208,16 +211,24 @@ class SpanBuilder:
         self._close_section(
             e.thread, e.details.get("mon"), e.time, "commit"
         )
+        self._close_blocked(e.details.get("successor"), e.time, "granted")
 
     def _on_rollback_release(self, e: TraceEvent) -> None:
         section = self._close_section(
             e.thread, e.details.get("mon"), e.time, "rollback"
         )
+        self._close_blocked(e.details.get("successor"), e.time, "granted")
         revocation = self._revocation.get(e.thread)
         if section is not None and revocation is not None:
             # the causal edge: this revocation preempted that section
             revocation.parent = section.sid
             section.attrs["revoked_by"] = revocation.sid
+
+    def _on_handoff_returned(self, e: TraceEvent) -> None:
+        self._close_blocked(e.details.get("successor"), e.time, "granted")
+
+    def _on_leaked_monitor(self, e: TraceEvent) -> None:
+        self._close_blocked(e.details.get("successor"), e.time, "granted")
 
     def _on_section_abandoned(self, e: TraceEvent) -> None:
         stack = self._sections.get(e.thread)
@@ -234,13 +245,29 @@ class SpanBuilder:
                 "blocked", e.thread, e.time, {"mon": e.details.get("mon")}
             )
 
-    def _on_wakeup(self, e: TraceEvent) -> None:
-        span = self._blocked.pop(e.thread, None)
+    def _close_blocked(
+        self, thread: Optional[str], time: int, outcome: str
+    ) -> None:
+        """Close ``thread``'s open blocked span (if any) at ``time``.
+
+        The close sites mirror ``JVM.credit_blocked`` call sites exactly
+        — grants at release/wait/rollback-release, wakeups, revocation
+        wakes — so every closed blocked span's duration equals the cycles
+        credited to the thread's ``blocked_cycles`` metric at that very
+        clock value (the zero-residue episode reconciliation relies on
+        this)."""
+        if thread is None:
+            return
+        span = self._blocked.pop(thread, None)
         if span is not None:
-            span.end = e.time
-            span.attrs["outcome"] = "wakeup"
+            span.end = time
+            span.attrs["outcome"] = outcome
+
+    def _on_wakeup(self, e: TraceEvent) -> None:
+        self._close_blocked(e.thread, e.time, "wakeup")
 
     def _on_wait(self, e: TraceEvent) -> None:
+        self._close_blocked(e.details.get("successor"), e.time, "granted")
         self._wait[e.thread] = self._open(
             "wait", e.thread, e.time,
             {"mon": e.details.get("mon"),
@@ -286,6 +313,9 @@ class SpanBuilder:
         holder = e.details.get("holder")
         if holder is None:
             return
+        # A blocked holder is woken by the scheduler at this instant so
+        # the rollback can proceed (and its park is credited here).
+        self._close_blocked(holder, e.time, "revocation-wake")
         self._open_revocation(
             holder, e.time,
             {"requester": e.thread,
@@ -294,6 +324,7 @@ class SpanBuilder:
         )
 
     def _on_deadlock_resolve(self, e: TraceEvent) -> None:
+        self._close_blocked(e.thread, e.time, "revocation-wake")
         self._open_revocation(
             e.thread, e.time,
             {"requester": None, "origin": "deadlock",
@@ -312,10 +343,7 @@ class SpanBuilder:
         self._undone[e.thread] = e.details.get("undone", 0)
 
     def _on_rollback_done(self, e: TraceEvent) -> None:
-        blocked = self._blocked.pop(e.thread, None)
-        if blocked is not None:
-            blocked.end = e.time
-            blocked.attrs["outcome"] = "revoked"
+        self._close_blocked(e.thread, e.time, "revoked")
         span = self._revocation.pop(e.thread, None)
         if span is not None:
             span.end = e.time
@@ -323,6 +351,14 @@ class SpanBuilder:
             span.attrs["undone"] = self._undone.pop(e.thread, 0)
 
     # ------------------------------------------------- instant annotations
+    def _on_inherit(self, e: TraceEvent) -> None:
+        # priority donation: e.thread is the receiving owner
+        self._instant(
+            "inherit", e.thread, e.time,
+            {"from": e.details.get("from_"),
+             "priority": e.details.get("priority")},
+        )
+
     def _on_degrade(self, e: TraceEvent) -> None:
         self._instant(
             "degrade", e.thread, e.time,

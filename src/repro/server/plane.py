@@ -263,6 +263,7 @@ def run_server_cell(spec: ServerSpec) -> dict:
     sweeps.  The report never mentions ``interp`` or worker counts: the
     byte-identity contract across both is pinned by tests.
     """
+    from repro.obs.episodes import EpisodeSink
     from repro.server.presets import get_preset
 
     config = get_preset(spec.preset)
@@ -280,8 +281,15 @@ def run_server_cell(spec: ServerSpec) -> dict:
         audit_rollbacks=plan is not None,
         max_cycles=expected_cycle_cap(config, seed),
         raise_on_uncaught=False,
+        trace=True,
     )
     vm = JVM(options)
+    # Stream, don't store: the tracer feeds the online episode sink
+    # only, so host memory stays flat however long the soak runs.  The
+    # per-tier inversion-episode counts in the report come from here.
+    vm.tracer.store = False
+    episode_sink = EpisodeSink()
+    vm.tracer.add_sink(episode_sink)
     build_server(config, seed).install(vm)
     detector = AbortStormDetector(config)
     vm.slice_hooks.append(detector)
@@ -309,6 +317,7 @@ def run_server_cell(spec: ServerSpec) -> dict:
         violations=violations,
         storm_events=detector.events,
         injected=vm.fault_plane.report() if vm.fault_plane else {},
+        episodes=episode_sink.finish(vm.clock.now),
     )
     report["chaos"] = spec.chaos
     report["inject_bug"] = spec.inject_bug

@@ -120,10 +120,17 @@ def build_report(
     violations: list[str],
     storm_events: list[dict],
     injected: dict[str, int],
+    episodes: list[dict[str, Any]] | None = None,
 ) -> dict[str, Any]:
-    """Assemble the full deterministic report of one quiesced run."""
+    """Assemble the full deterministic report of one quiesced run.
+
+    ``episodes`` is the priority-inversion episode list from the online
+    :class:`repro.obs.episodes.EpisodeSink` (None = tracing was off);
+    each episode is attributed to the SLA tier of its *blocked* thread.
+    """
     metrics = vm.metrics()
     elapsed = metrics["elapsed_cycles"]
+    episodes = episodes or []
     tiers: dict[str, Any] = {}
     for ti, tier in enumerate(config.tiers):
         counters = tier_counters(vm, ti)
@@ -152,7 +159,18 @@ def build_report(
             "cycles": cycles,
             "blocked_cycles": blocked,
             "revocations": revocations,
+            "episodes": sum(
+                1 for e in episodes if e["tier"] == tier.name
+            ),
+            "inversion_cycles": sum(
+                e["cycles"] for e in episodes if e["tier"] == tier.name
+            ),
         }
+    by_resolution: dict[str, int] = {}
+    for e in episodes:
+        by_resolution[e["resolution"]] = (
+            by_resolution.get(e["resolution"], 0) + 1
+        )
     return {
         "format": REPORT_FORMAT,
         "config": config.name,
@@ -173,6 +191,15 @@ def build_report(
             ),
         },
         "robustness": robustness_block(metrics),
+        "episodes": {
+            "total": len(episodes),
+            "inversion_cycles": sum(e["cycles"] for e in episodes),
+            "by_resolution": dict(sorted(by_resolution.items())),
+        },
+        "trace": {
+            "dropped": metrics["trace"]["dropped"],
+            "sink_errors": metrics["trace"]["sink_errors"],
+        },
         "tiers": tiers,
     }
 
@@ -194,7 +221,8 @@ def render_report(report: dict[str, Any]) -> str:
     header = (
         f"{'tier':<10} {'prio':>4} {'req':>7} {'done':>7} {'shed':>6} "
         f"{'tmo':>6} {'retry':>6} {'drop':>6} {'err':>4} "
-        f"{'p50':>8} {'p99':>8} {'p999':>8} {'goodput':>8}"
+        f"{'p50':>8} {'p99':>8} {'p999':>8} {'goodput':>8} "
+        f"{'episd':>6} {'inv-cyc':>9}"
     )
     lines.append(header)
     for name, t in report["tiers"].items():
@@ -205,7 +233,18 @@ def render_report(report: dict[str, Any]) -> str:
             f"{t['retries']:>6} {t['dropped']:>6} {t['errors']:>4} "
             f"{_cell(lat['p50']):>8} {_cell(lat['p99']):>8} "
             f"{_cell(lat['p999']):>8} "
-            f"{t['goodput_per_mcycle']:>8}"
+            f"{t['goodput_per_mcycle']:>8} "
+            f"{t.get('episodes', 0):>6} {t.get('inversion_cycles', 0):>9}"
+        )
+    ep = report.get("episodes")
+    if ep:
+        resolutions = " ".join(
+            f"{k}={v}" for k, v in ep["by_resolution"].items()
+        ) or "none"
+        lines.append(
+            f"inversion episodes: {ep['total']} "
+            f"({ep['inversion_cycles']} blocked cycles) "
+            f"resolutions: {resolutions}"
         )
     rb = report["robustness"]
     lines.append(

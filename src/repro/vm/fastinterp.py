@@ -566,7 +566,8 @@ class FastInterpreter(Interpreter):
                                     thread, clock.now + timeout
                                 )
                             vm.trace("wait", thread, mon=mon,
-                                     timeout=timeout if timed else None)
+                                     timeout=timeout if timed else None,
+                                     successor=successor)
                             return WAITING
                     elif op == bc.NOTIFY or op == bc.NOTIFYALL:
                         mon = monitor_of(require_ref(stack.pop(), "monitor"))

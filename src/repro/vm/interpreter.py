@@ -510,7 +510,8 @@ class Interpreter:
                                     thread, clock.now + timeout
                                 )
                             vm.trace("wait", thread, mon=mon,
-                                     timeout=timeout if timed else None)
+                                     timeout=timeout if timed else None,
+                                     successor=successor)
                             return WAITING
                     elif op == bc.NOTIFY or op == bc.NOTIFYALL:
                         mon = monitor_of(require_ref(stack.pop(), "monitor"))
@@ -751,7 +752,9 @@ class Interpreter:
             if successor is not None:
                 self._post_release(mon, successor)
             self.support.on_handoff(thread, mon, successor)
-            self.vm.trace("handoff_returned", thread, mon=mon)
+            self.vm.trace(
+                "handoff_returned", thread, mon=mon, successor=successor
+            )
 
     def _post_release(self, mon: Monitor, successor: VMThread) -> None:
         """Route a release's successor per the active queue policy."""
@@ -764,11 +767,7 @@ class Interpreter:
         """Ownership was transferred to a queued waiter; make it runnable."""
         new_owner.blocked_on = None
         new_owner.pending_handoff = mon
-        if new_owner.blocked_since is not None:
-            new_owner.blocked_cycles += (
-                self.clock.now - new_owner.blocked_since
-            )
-            new_owner.blocked_since = None
+        self.vm.credit_blocked(new_owner)
         self._ready_or_delay(new_owner, mon)
 
     def _wake_waiter(self, waiter: VMThread) -> None:
@@ -776,9 +775,7 @@ class Interpreter:
         when scheduled (it stays on the entry queue; arrivals may barge)."""
         if waiter.state is not ThreadState.BLOCKED:
             return  # already runnable from an earlier wake
-        if waiter.blocked_since is not None:
-            waiter.blocked_cycles += self.clock.now - waiter.blocked_since
-            waiter.blocked_since = None
+        self.vm.credit_blocked(waiter)
         self._ready_or_delay(waiter, waiter.blocked_on)
         self.vm.trace("wakeup", waiter)
 
@@ -858,6 +855,7 @@ class Interpreter:
             thread.sections.remove(section)
             self.support.on_section_abandoned(thread, section)
             mon = section.monitor
+            successor = None
             if mon.owner is thread:
                 successor = mon.release(
                     thread, prioritized=self._prioritized,
@@ -865,7 +863,9 @@ class Interpreter:
                 )
                 if successor is not None:
                     self._post_release(mon, successor)
-            self.vm.trace("leaked_monitor", thread, mon=mon)
+            self.vm.trace(
+                "leaked_monitor", thread, mon=mon, successor=successor
+            )
 
     # ------------------------------------------------------------ rollback
     def _unwind_to_handler(self, thread: VMThread) -> None:
@@ -909,6 +909,7 @@ class Interpreter:
         is_target = section is signal.target
         self.support.on_rollback_handler(thread, section, is_target)
         mon = section.monitor
+        successor = None
         if mon.owner is thread:
             # Rollback releases ALWAYS hand ownership to the chosen waiter
             # (paper §4: "after the low-priority thread rolls back its
@@ -924,7 +925,8 @@ class Interpreter:
                 self._post_release(mon, successor)
             self.support.on_handoff(thread, mon, successor)
         self.vm.trace(
-            "rollback_release", thread, mon=mon, target=is_target
+            "rollback_release", thread, mon=mon, target=is_target,
+            successor=successor,
         )
         if is_target:
             saved = frame.saved_states.get(ins.a)

@@ -46,29 +46,34 @@ class NativeRegistry:
 
     # ------------------------------------------------------------- stdlib
     def _register_stdlib(self) -> None:
-        console = self.console
+        # Module-level functions, not closures: native tables travel
+        # inside VM snapshots, which must stay picklable.
+        self._natives["println"] = _native_println
+        self._natives["printTime"] = _native_print_time
+        self._natives["abort"] = _native_abort
+        self._natives["identityHashCode"] = _native_identity_hash
 
-        def println(vm: "JVM", thread: "VMThread", args: list) -> None:
-            console.append(" ".join(_to_text(a) for a in args))
-            return None
 
-        def print_time(vm: "JVM", thread: "VMThread", args: list) -> None:
-            console.append(f"[{vm.clock.now}] " +
-                           " ".join(_to_text(a) for a in args))
-            return None
+def _native_println(vm: "JVM", thread: "VMThread", args: list) -> None:
+    vm.natives.console.append(" ".join(_to_text(a) for a in args))
+    return None
 
-        def abort(vm: "JVM", thread: "VMThread", args: list) -> None:
-            message = " ".join(_to_text(a) for a in args) or "abort()"
-            raise GuestRuntimeError(message, guest_class="Error")
 
-        def identity_hash(vm: "JVM", thread: "VMThread", args: list) -> int:
-            (ref,) = args
-            return getattr(ref, "oid", 0)
+def _native_print_time(vm: "JVM", thread: "VMThread", args: list) -> None:
+    vm.natives.console.append(
+        f"[{vm.clock.now}] " + " ".join(_to_text(a) for a in args)
+    )
+    return None
 
-        self._natives["println"] = println
-        self._natives["printTime"] = print_time
-        self._natives["abort"] = abort
-        self._natives["identityHashCode"] = identity_hash
+
+def _native_abort(vm: "JVM", thread: "VMThread", args: list) -> None:
+    message = " ".join(_to_text(a) for a in args) or "abort()"
+    raise GuestRuntimeError(message, guest_class="Error")
+
+
+def _native_identity_hash(vm: "JVM", thread: "VMThread", args: list) -> int:
+    (ref,) = args
+    return getattr(ref, "oid", 0)
 
 
 def _to_text(value: Any) -> str:

@@ -315,6 +315,10 @@ class BaseScheduler:
         if thread.state is ThreadState.BLOCKED and thread.blocked_on:
             thread.blocked_on.remove_from_queue(thread)
             thread.blocked_on = None
+            # The park ends here, not at some later re-acquire: credit the
+            # blocked interval so metrics (and the profiler's blocked
+            # attribution) cover revocation wakes exactly like grants.
+            self.vm.credit_blocked(thread)
             self.make_ready(thread)
         elif thread.state is ThreadState.SLEEPING:
             self.remove_sleeper(thread)

@@ -193,6 +193,18 @@ class VMThread:
     def is_live(self) -> bool:
         return self.state not in (ThreadState.NEW, ThreadState.TERMINATED)
 
+    def credit_blocked(self, now: int) -> int:
+        """Close an open blocked interval at ``now``; returns the cycles
+        credited (0 when no interval was open).  Every un-block path must
+        route through here so ``blocked_cycles`` and the profiler's
+        blocked attribution stay in exact agreement."""
+        if self.blocked_since is None:
+            return 0
+        cycles = now - self.blocked_since
+        self.blocked_cycles += cycles
+        self.blocked_since = None
+        return cycles
+
     def innermost_section(self):
         return self.sections[-1] if self.sections else None
 

@@ -432,6 +432,17 @@ class JVM:
             obj.fields["message"] = message
         return obj
 
+    def credit_blocked(self, thread: VMThread) -> int:
+        """Close ``thread``'s open blocked interval at the current clock
+        and mirror the credit into the profiler's blocked attribution.
+        The single funnel for every un-block path (grants, wakes,
+        revocation wakes) — spans, metrics and the profiler all agree
+        because they all read this one moment."""
+        cycles = thread.credit_blocked(self.clock.now)
+        if cycles and self.profiler is not None:
+            self.profiler.note_blocked(thread.name, cycles)
+        return cycles
+
     def record_uncaught(self, thread: VMThread, exc: VMObject) -> None:
         self.uncaught.append((thread, exc))
         self.trace("uncaught", thread, exc=exc.classdef.name)

@@ -366,3 +366,70 @@ class TestEngineConfig:
         write_host_perf(report, path)
         assert load_host_perf(path) == __import__("json").load(open(path))
         assert load_host_perf(tmp_path / "missing.json") is None
+
+
+def _degraded_result(item):
+    """A run result whose tracer lost events (worker-side shape)."""
+    return {
+        "metrics": {
+            "trace": {"events": 5, "dropped": item, "sink_errors": 1},
+        },
+    }
+
+
+class TestTraceHealthLanes:
+    """Tracer degradation (dropped events, detached sinks) surfaces in
+    the per-worker stat lanes instead of vanishing into the artifact."""
+
+    def test_trace_health_reads_both_shapes(self):
+        from repro.bench.parallel import trace_health
+
+        assert trace_health(_degraded_result(3)) == (3, 1)
+        # server reports carry a top-level trace block
+        assert trace_health(
+            {"trace": {"dropped": 2, "sink_errors": 0}}
+        ) == (2, 0)
+        assert trace_health({"clock": 7}) == (0, 0)
+        assert trace_health(object()) == (0, 0)
+
+    def test_degraded_runs_surface_in_stats(self):
+        engine = RunEngine(jobs=1)
+        engine.map(_degraded_result, [3, 4])
+        stats = engine.last_stats
+        assert stats.trace_dropped == 7
+        assert stats.trace_sink_errors == 2
+        assert "TRACE DEGRADED" in stats.render()
+        lines = stats.render_workers()
+        assert lines, "degraded lanes must render even single-lane"
+        assert any("TRACE DEGRADED: 7 dropped / 2 sink errors" in line
+                   for line in lines)
+
+    def test_degraded_runs_surface_from_pool_lanes(self):
+        engine = RunEngine(jobs=2)
+        engine.map(_degraded_result, [1, 2, 3])
+        stats = engine.last_stats
+        assert stats.trace_dropped == 6
+        assert stats.trace_sink_errors == 3
+        lanes = [n for n in stats.workers if n.startswith("pool-")]
+        assert sum(
+            stats.workers[n]["trace_dropped"] for n in lanes
+        ) == 6
+
+    def test_healthy_runs_stay_silent(self, tmp_path):
+        engine = RunEngine(jobs=1, cache=ResultCache(tmp_path))
+        compare_modes(TINY, repetitions=1, engine=engine)
+        stats = engine.last_stats
+        assert stats.trace_dropped == 0
+        assert stats.trace_sink_errors == 0
+        assert "TRACE DEGRADED" not in stats.render()
+        assert stats.render_workers() == []
+
+    def test_merge_sums_trace_lanes(self):
+        from repro.bench.parallel import EngineStats
+
+        a = EngineStats(jobs=1)
+        a.trace_dropped, a.trace_sink_errors = 2, 1
+        b = EngineStats(jobs=1)
+        b.trace_dropped = 5
+        a.merge(b)
+        assert (a.trace_dropped, a.trace_sink_errors) == (7, 1)

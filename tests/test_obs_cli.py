@@ -227,3 +227,104 @@ def test_check_replay_trace_out(tmp_path, capsys):
         sum(cats.values()) for cats in other["cycles_by_track"].values()
     )
     assert total == other["clock"]
+
+
+# ------------------------------------------- episodes & time-travel CLI
+def test_episodes_subcommand_renders(capsys):
+    rc, out, _ = _obs(capsys, "episodes", "--scenario",
+                      "medium-inversion")
+    assert rc == 0
+    assert "revocation" in out
+    assert "reconciliation residue: 0" in out
+    assert "high(10)" in out
+
+
+def test_episodes_json_identical_across_jobs(capsys):
+    outs = []
+    for jobs in ("1", "4"):
+        rc = obs_main(["episodes", "--scenario", "medium-inversion",
+                       "--json", "--jobs", jobs, "--no-cache"])
+        assert rc == 0
+        outs.append(capsys.readouterr().out)
+    assert outs[0] == outs[1]
+    json.loads(outs[0])  # canonical single-document output
+
+
+def test_episodes_compare_policy_table(capsys):
+    """The per-policy inversion table: unmodified >> the fixes."""
+    rc, out, _ = _obs(capsys, "episodes", "--scenario",
+                      "medium-inversion", "--compare")
+    assert rc == 0
+    assert "vs-unmodified" in out
+    assert "1.0000" in out    # unmodified baseline
+    assert "0.0181" in out    # rollback (preemptible sections)
+    assert "0.2223" in out    # classical inheritance
+    assert "revocation=1" in out
+
+
+def test_profile_sites_table(capsys):
+    """Satellite: per-site abort/commit table with a pinned golden."""
+    rc, out, _ = _obs(capsys, "profile", "--scenario",
+                      "medium-inversion", "--sites", "--json")
+    assert rc == 0
+    (row,) = json.loads(out)
+    assert row == {
+        "site": "<Inversion#13>", "sections": 3, "commit": 2,
+        "rollback": 1, "abandoned": 0, "leaked": 0,
+        "held_cycles": 11436, "blocked_cycles": 1871,
+        "contenders": 2, "abort_pct": 33.3,
+    }
+
+
+def test_profile_sites_renders(capsys):
+    rc, out, _ = _obs(capsys, "profile", "--scenario",
+                      "medium-inversion", "--sites")
+    assert rc == 0
+    assert "<Inversion#13>" in out
+    assert "abort" in out
+
+
+def test_debug_print_state_headless(capsys):
+    rc, out, err = _obs(capsys, "debug", "--scenario",
+                        "medium-inversion", "--episode", "1",
+                        "--print-state")
+    assert rc == 0
+    assert "episode 1: high" in err
+    assert "resolution revocation" in err
+    assert "monitors:" in out
+    assert "high" in out and "low" in out
+
+
+def test_debug_print_state_deterministic(capsys):
+    outs = []
+    for _ in range(2):
+        rc = obs_main(["debug", "--scenario", "medium-inversion",
+                       "--episode", "1", "--print-state", "--json"]
+                      + SERIAL)
+        assert rc == 0
+        outs.append(capsys.readouterr().out)
+    assert outs[0] == outs[1]
+    state = json.loads(outs[0])
+    assert any(
+        c["chain"][0] == "high" and c["chain"][-1] == "low"
+        for c in state["blocking_chains"]
+    )
+
+
+def test_check_replay_opens_in_debugger(tmp_path, capsys):
+    """--replay --debug: the counterexample opens positioned in the
+    time-travel debugger, headless via --debug-state."""
+    from repro.check.__main__ import main as check_main
+
+    cex = tmp_path / "cex.json"
+    rc = check_main(["--scenario", "handoff", "--bound", "1",
+                     "--inject-bug", "undo-drop", "--out", str(cex),
+                     "--jobs", "1"])
+    assert rc == 1
+    capsys.readouterr()
+    rc = check_main(["--replay", str(cex), "--debug",
+                     "--debug-seek", "0", "--debug-state"])
+    captured = capsys.readouterr()
+    assert rc == 0
+    assert "clock" in captured.out
+    assert "monitors:" in captured.out or "thread" in captured.out

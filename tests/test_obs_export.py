@@ -39,7 +39,14 @@ def test_jsonl_schema(artifact):
 def test_chrome_trace_is_valid_and_exact(artifact):
     doc = json.loads(artifact["chrome_json"])
     events = doc["traceEvents"]
-    assert all(e["ph"] in ("M", "X", "i", "C") for e in events)
+    assert all(e["ph"] in ("M", "X", "i", "C", "b", "e") for e in events)
+    # the priority-inversion overlay: async b/e pairs on their own track
+    begins = [e for e in events if e["ph"] == "b"]
+    ends = [e for e in events if e["ph"] == "e"]
+    assert len(begins) == len(ends)
+    for b in begins:
+        assert b["cat"] == "inversion"
+        assert b["args"]["resolution"]
     # one named track per thread plus the VM pseudo-track
     names = {e["args"]["name"] for e in events
              if e["ph"] == "M" and e["name"] == "thread_name"}

@@ -293,3 +293,55 @@ class TestReport:
                 assert not isinstance(node, float), node
 
         walk(report)
+
+
+class TestEpisodeAttribution:
+    """Per-tier priority-inversion episode counts in the cell report,
+    fed by the always-on streaming tracer + online episode sink."""
+
+    @pytest.fixture(scope="class")
+    def report(self):
+        from repro.server.plane import ServerSpec, run_server_cell
+
+        return run_server_cell(ServerSpec(preset="baseline"))
+
+    def test_episode_totals_pinned(self, report):
+        assert report["episodes"] == {
+            "total": 78,
+            "inversion_cycles": 46784,
+            "by_resolution": {
+                "natural-release": 21, "other": 50, "revocation": 7,
+            },
+        }
+
+    def test_tier_attribution_pinned(self, report):
+        tiers = report["tiers"]
+        assert (tiers["gold"]["episodes"],
+                tiers["gold"]["inversion_cycles"]) == (78, 46784)
+        for name in ("silver", "bronze"):
+            assert tiers[name]["episodes"] == 0
+            assert tiers[name]["inversion_cycles"] == 0
+
+    def test_tier_counts_reconcile_with_totals(self, report):
+        assert sum(
+            t["episodes"] for t in report["tiers"].values()
+        ) == report["episodes"]["total"]
+        assert sum(
+            t["inversion_cycles"] for t in report["tiers"].values()
+        ) == report["episodes"]["inversion_cycles"]
+        assert sum(
+            report["episodes"]["by_resolution"].values()
+        ) == report["episodes"]["total"]
+
+    def test_streaming_tracer_stays_healthy(self, report):
+        """The sink runs in streaming mode: nothing stored, nothing
+        dropped, no sink detached — however long the cell runs."""
+        assert report["trace"] == {"dropped": 0, "sink_errors": 0}
+
+    def test_report_renders_episode_columns(self, report):
+        from repro.server.report import render_report
+
+        text = render_report(report)
+        assert "episd" in text and "inv-cyc" in text
+        assert "inversion episodes: 78 (46784 blocked cycles)" in text
+        assert "revocation=7" in text
